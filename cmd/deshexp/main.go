@@ -1,0 +1,148 @@
+// Command deshexp regenerates every table and figure of the paper's
+// evaluation section on synthetic machine logs.
+//
+// Usage:
+//
+//	deshexp                 # everything at default scale
+//	deshexp -scale quick    # faster, smaller datasets
+//	deshexp -exp fig4,fig8  # a subset of experiments
+//
+// Experiment ids: table1 table2 table3 table4 table5 fig4 fig5 fig6
+// fig7 fig8 fig9 table9 fig10 table10 table11 ngram ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"desh/internal/deeplog"
+	"desh/internal/experiments"
+	"desh/internal/metrics"
+)
+
+func main() {
+	scaleName := flag.String("scale", "default", "dataset scale: default or quick")
+	expList := flag.String("exp", "all", "comma-separated experiment ids or 'all'")
+	epochs1 := flag.Int("epochs1", 2, "Phase-1 epochs")
+	flag.Parse()
+
+	scale := experiments.DefaultScale()
+	if *scaleName == "quick" {
+		scale = experiments.QuickScale()
+	}
+	cfg := experiments.DefaultPipelineConfig()
+	cfg.Epochs1 = *epochs1
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*expList, ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	all := want["all"]
+	sel := func(id string) bool { return all || want[id] }
+
+	// Static tables need no training.
+	if sel("table1") {
+		fmt.Println(experiments.Table1(scale))
+	}
+	if sel("table2") {
+		fmt.Println(experiments.Table2(scale.Seed))
+	}
+	if sel("table3") {
+		fmt.Println(experiments.Table3())
+	}
+	if sel("table4") {
+		out, err := experiments.Table4(scale)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+	}
+	if sel("table5") {
+		fmt.Println(experiments.Table5(cfg))
+	}
+
+	needsRuns := false
+	for _, id := range []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table9", "fig10", "table10", "table11", "ngram", "ablation"} {
+		if sel(id) {
+			needsRuns = true
+		}
+	}
+	var results []*experiments.SystemResult
+	if needsRuns {
+		fmt.Fprintf(os.Stderr, "deshexp: running the four systems (this trains eight LSTMs)...\n")
+		var err error
+		results, err = experiments.RunAllSystems(scale, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range results {
+			fmt.Fprintf(os.Stderr, "deshexp: %s trained on %d chains, %v\n", r.Machine, r.Train.FailureChains, r.Conf)
+		}
+	}
+	if sel("fig4") {
+		fmt.Println(experiments.Fig4(results))
+	}
+	if sel("fig5") {
+		fmt.Println(experiments.Fig5(results))
+	}
+	if sel("fig6") {
+		fmt.Println(experiments.Fig6Table7(results))
+	}
+	if sel("fig7") {
+		fmt.Println(experiments.Fig7(results))
+	}
+	if sel("fig8") {
+		fmt.Println(experiments.Fig8(results[0]))
+	}
+	if sel("fig9") {
+		fmt.Println(experiments.Table8Figure9(results[0]))
+	}
+	if sel("table9") {
+		fmt.Println(experiments.Table9(results[0]))
+	}
+	if sel("fig10") {
+		fmt.Println(experiments.Fig10(results[0]))
+	}
+	if sel("table10") || sel("table11") {
+		dcfg := deeplog.DefaultConfig()
+		dlog, err := experiments.RunDeepLog(results[0], dcfg)
+		if err != nil {
+			fatal(err)
+		}
+		if sel("table10") {
+			fmt.Println(experiments.Table10(results[0], dlog))
+		}
+		if sel("table11") {
+			fmt.Println(experiments.Table11(results[0], dlog))
+		}
+	}
+	if sel("ngram") {
+		ng, lstm := experiments.NgramComparison(results[0], 3)
+		fmt.Printf("n-gram baseline: trigram next-phrase accuracy %.1f%% vs Phase-1 LSTM %.1f%%\n\n", 100*ng, 100*lstm)
+	}
+	if sel("ablation") && len(results) > 0 {
+		fmt.Fprintln(os.Stderr, "deshexp: running history-size ablation (retrains Phase 1 twice)...")
+		full, reduced, err := experiments.HistoryAblation(results[0].TrainEvents, cfg, 3)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("History ablation (%s): history %d accuracy %.1f%%, history 3 accuracy %.1f%% (drop %.1f points; paper: 10-14)\n\n",
+			results[0].Machine, cfg.History1, 100*full, 100*reduced, 100*(full-reduced))
+	}
+	if needsRuns {
+		fmt.Println("Summary (Observation 3): per-system lead times")
+		for _, r := range results {
+			fmt.Printf("  %s: %v, lead %v\n", r.Machine, r.Conf, metrics.SummarizeLeads(r.Leads))
+		}
+		classStd, sysStd := experiments.Observation4(results)
+		fmt.Printf("Observation 4: mean per-class lead std %.1fs < mean per-system std %.1fs: %v\n",
+			classStd, sysStd, classStd < sysStd)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "deshexp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Command deshpredict runs Desh's Phase-3 inference on a raw test log
+// using a model trained by deshtrain, printing one warning per flagged
+// node failure (the paper's "In 2.5 minutes, node X located in Y is
+// expected to fail"). With -evaluate it also scores the predictions
+// against the terminal messages present in the log.
+//
+// Usage:
+//
+//	deshpredict -in test.log -model desh.model [-evaluate]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"desh"
+	"desh/internal/metrics"
+)
+
+func main() {
+	in := flag.String("in", "", "test log file (required)")
+	model := flag.String("model", "desh.model", "trained model file")
+	evaluate := flag.Bool("evaluate", false, "score predictions against ground-truth terminal messages")
+	flag.Parse()
+	if *in == "" {
+		fatal(fmt.Errorf("-in is required"))
+	}
+	mf, err := os.Open(*model)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := desh.LoadPredictor(mf)
+	mf.Close()
+	if err != nil {
+		fatal(err)
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	lines := splitLines(string(data))
+	preds, err := p.PredictLines(lines)
+	if err != nil {
+		fatal(err)
+	}
+	for _, pr := range preds {
+		fmt.Printf("%s  %s\n", pr.FlaggedAt.Format("2006-01-02T15:04:05"), pr)
+	}
+	fmt.Fprintf(os.Stderr, "deshpredict: %d warnings\n", len(preds))
+	if *evaluate {
+		conf, leads, err := p.EvaluateLines(lines)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "deshpredict: %v\n", conf)
+		fmt.Fprintf(os.Stderr, "deshpredict: leads %v\n", metrics.SummarizeLeads(leads))
+	}
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			if i > start {
+				lines = append(lines, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "deshpredict:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Command deshtrain runs Desh's training Phases 1 and 2 on a raw log
+// file and writes the trained model.
+//
+// Usage:
+//
+//	deshtrain -in train.log -model desh.model [-epochs1 2 -epochs2 150]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"desh"
+)
+
+func main() {
+	in := flag.String("in", "", "training log file (required)")
+	model := flag.String("model", "desh.model", "output model file")
+	epochs1 := flag.Int("epochs1", 2, "Phase-1 training epochs (0 skips Phase 1)")
+	epochs2 := flag.Int("epochs2", 150, "Phase-2 training epochs")
+	seed := flag.Int64("seed", 1, "training seed")
+	flag.Parse()
+	if *in == "" {
+		fatal(fmt.Errorf("-in is required"))
+	}
+
+	cfg := desh.DefaultConfig()
+	cfg.Epochs1 = *epochs1
+	cfg.Epochs2 = *epochs2
+	cfg.Seed = *seed
+	p, err := desh.NewPredictor(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	report, err := p.TrainFromReader(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	out, err := os.Create(*model)
+	if err != nil {
+		fatal(err)
+	}
+	defer out.Close()
+	if err := p.Save(out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("deshtrain: %d events, %d nodes, vocab %d, %d failure chains\n",
+		report.Events, report.Nodes, report.Vocab, report.FailureChains)
+	if *epochs1 > 0 {
+		fmt.Printf("deshtrain: Phase-1 loss %.4f, next-phrase accuracy %.1f%%\n",
+			report.Phase1Loss, 100*report.Phase1Accuracy)
+	}
+	fmt.Printf("deshtrain: Phase-2 final MSE %.4f, model written to %s\n", report.Phase2Loss, *model)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "deshtrain:", err)
+	os.Exit(1)
+}

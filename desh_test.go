@@ -1,0 +1,116 @@
+package desh
+
+import (
+	"strings"
+	"testing"
+)
+
+func generateLines(t *testing.T, machine string, seed int64) []string {
+	t.Helper()
+	run, err := GenerateSyntheticLog(SyntheticLogOptions{
+		Machine: machine, Nodes: 60, Hours: 120, Failures: 90, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run.Lines()
+}
+
+func fastConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Epochs1 = 0
+	return cfg
+}
+
+func TestGenerateSyntheticLogUnknownMachine(t *testing.T) {
+	if _, err := GenerateSyntheticLog(SyntheticLogOptions{Machine: "M9", Nodes: 1, Hours: 1}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestMachines(t *testing.T) {
+	ms := Machines()
+	if len(ms) != 4 || ms[0].Name != "M1" {
+		t.Fatalf("unexpected machines %v", ms)
+	}
+}
+
+func TestSplitLines(t *testing.T) {
+	lines := generateLines(t, "M3", 5)
+	train, test, err := SplitLines(lines, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(train)+len(test) != len(lines) {
+		t.Fatal("split lost lines")
+	}
+	if len(train) == 0 || len(test) == 0 {
+		t.Fatal("degenerate split")
+	}
+}
+
+func TestPredictorEndToEnd(t *testing.T) {
+	lines := generateLines(t, "M2", 6)
+	train, test, err := SplitLines(lines, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPredictor(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := p.TrainLines(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.FailureChains == 0 {
+		t.Fatal("no chains learned")
+	}
+	preds, err := p.PredictLines(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) == 0 {
+		t.Fatal("no failure warnings produced")
+	}
+	for _, pr := range preds {
+		if pr.Node == "" || pr.LeadSeconds < 0 {
+			t.Fatalf("bad prediction %+v", pr)
+		}
+		s := pr.String()
+		if !strings.Contains(s, pr.Node) || !strings.Contains(s, "expected to fail") {
+			t.Fatalf("warning text %q", s)
+		}
+		if !strings.Contains(pr.Location, "cabinet") {
+			t.Fatalf("location %q", pr.Location)
+		}
+	}
+	conf, leads, err := p.EvaluateLines(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conf.TP == 0 {
+		t.Fatalf("no true positives: %v", conf)
+	}
+	if len(leads) != conf.TP {
+		t.Fatalf("%d leads for %d TPs", len(leads), conf.TP)
+	}
+}
+
+func TestNewPredictorValidates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinMatches = 0
+	if _, err := NewPredictor(cfg); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestTrainFromReaderBadInput(t *testing.T) {
+	p, err := NewPredictor(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.TrainFromReader(strings.NewReader("not a log line\n")); err == nil {
+		t.Fatal("expected parse error")
+	}
+}

@@ -1,0 +1,46 @@
+// Desh vs DeepLog: run both detectors on the same synthetic machine
+// logs and contrast them the way the paper's §4.5 does — DeepLog flags
+// individual anomalous log entries (no lead time, no failure/no-failure
+// distinction), Desh flags failure chains with a lead-time estimate and
+// the failing node's physical location (Tables 10 and 11).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"desh/internal/deeplog"
+	"desh/internal/experiments"
+	"desh/internal/logsim"
+	"desh/internal/metrics"
+)
+
+func main() {
+	scale := experiments.Scale{Nodes: 90, Hours: 168, Failures: 130, Seed: 21}
+	cfg := experiments.DefaultPipelineConfig()
+	cfg.Epochs1 = 1
+
+	profile := logsim.Profiles()[2] // M3
+	fmt.Printf("running Desh on %s (%s)...\n", profile.Name, profile.System)
+	result, err := experiments.RunSystem(profile, scale, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("training DeepLog on the same 30% split...")
+	dlog, err := experiments.RunDeepLog(result, deeplog.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Println(experiments.Table10(result, dlog))
+	fmt.Println(experiments.Table11(result, dlog))
+
+	leads := metrics.SummarizeLeads(result.Leads)
+	fmt.Println("what DeepLog cannot give you, measured:")
+	fmt.Printf("  Desh true positives came with %.1fs average warning (max %.1fs);\n", leads.Mean, leads.Max)
+	fmt.Println("  DeepLog's per-entry anomalies carry no time-to-failure at all, and")
+	fmt.Printf("  on anomalous-but-harmless sequences DeepLog's FP rate is %.1f%% vs Desh's %.1f%%\n",
+		100*dlog.Conf.FPRate(), 100*result.Conf.FPRate())
+}

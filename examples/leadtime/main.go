@@ -1,0 +1,58 @@
+// Lead-time study: reproduce the paper's Table-7/Figure-6 analysis on
+// one machine — how predicted lead times differ by failure class (kernel
+// panics give ~1 minute of warning, machine-check exceptions closer to
+// 2-3 minutes), and the Figure-8 tradeoff between flagging earlier and
+// accepting more false positives.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"desh/internal/catalog"
+	"desh/internal/experiments"
+	"desh/internal/logsim"
+	"desh/internal/metrics"
+)
+
+func main() {
+	scale := experiments.Scale{Nodes: 100, Hours: 192, Failures: 150, Seed: 7}
+	cfg := experiments.DefaultPipelineConfig()
+	cfg.Epochs1 = 0 // this study only needs Phases 2 and 3
+
+	profile := mustProfile("M2") // M2 has the longest lead times (Fig 7)
+	fmt.Println("training Desh on", profile.Name, "(", profile.System, ")...")
+	result, err := experiments.RunSystem(profile, scale, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("prediction quality: %v\n\n", result.Conf)
+
+	fmt.Println("lead times by failure class (paper Table 7 ordering:")
+	fmt.Println("Panic < Job < Traps < FS < H/W < MCE):")
+	stats := experiments.ClassLeadStats([]*experiments.SystemResult{result})
+	for _, cl := range []catalog.Class{
+		catalog.ClassPanic, catalog.ClassJob, catalog.ClassTraps,
+		catalog.ClassFS, catalog.ClassHardware, catalog.ClassMCE,
+	} {
+		s := stats[cl]
+		fmt.Printf("  %-12s n=%-3d avg %6.1fs  std %5.1fs\n", cl, s.N, s.Mean, s.Std)
+	}
+
+	all := metrics.SummarizeLeads(result.Leads)
+	fmt.Printf("\nsystem-wide: %v\n", all)
+
+	fmt.Println("\nlead time vs false positives (paper Figure 8):")
+	for _, p := range experiments.LeadTimeSensitivity(result) {
+		fmt.Printf("  threshold %.2f, matches %d: avg lead %6.1fs, FP rate %5.1f%%, recall %5.1f%%\n",
+			p.Threshold, p.MinMatches, p.AvgLead, 100*p.FPRate, 100*p.Recall)
+	}
+}
+
+func mustProfile(name string) logsim.Profile {
+	p, ok := logsim.ProfileByName(name)
+	if !ok {
+		log.Fatalf("unknown machine %q", name)
+	}
+	return p
+}

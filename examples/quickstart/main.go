@@ -1,0 +1,68 @@
+// Quickstart: generate a small synthetic Cray log, train Desh on the
+// first 30% of the timeline, and print failure warnings for the rest —
+// the end-to-end path of the paper in one file.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"desh"
+)
+
+func main() {
+	// A slice of machine M1 (Cray XC30): 60 nodes, 5 days, 80 failures.
+	run, err := desh.GenerateSyntheticLog(desh.SyntheticLogOptions{
+		Machine: "M1", Nodes: 60, Hours: 120, Failures: 80, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lines := run.Lines()
+	fmt.Printf("generated %d log lines, %d real failures, %d masked faults\n",
+		len(lines), len(run.Failures), len(run.Masked))
+
+	train, test, err := desh.SplitLines(lines, 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := desh.DefaultConfig()
+	cfg.Epochs1 = 1 // Phase 1 trained lightly for a quick demo
+	p, err := desh.NewPredictor(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := p.TrainLines(train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained: vocab %d phrases, %d failure chains, Phase-1 accuracy %.0f%%\n",
+		report.Vocab, report.FailureChains, 100*report.Phase1Accuracy)
+
+	preds, err := p.PredictLines(test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d warnings on the test window; first few:\n", len(preds))
+	for i, pr := range preds {
+		if i >= 5 {
+			break
+		}
+		fmt.Println(" ", pr)
+	}
+
+	conf, leads, err := p.EvaluateLines(test)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nscored against ground truth: %v\n", conf)
+	mean := 0.0
+	for _, l := range leads {
+		mean += l
+	}
+	if len(leads) > 0 {
+		mean /= float64(len(leads))
+	}
+	fmt.Printf("average lead time on true positives: %.1f seconds\n", mean)
+}

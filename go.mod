@@ -1,0 +1,3 @@
+module desh
+
+go 1.22

@@ -1,0 +1,37 @@
+package catalog
+
+import "strings"
+
+// Mask reduces a raw log message to its static phrase key (the paper's
+// Table-2 static/dynamic split): whitespace-separated tokens that carry
+// any ASCII digit or a '*' wildcard are dynamic and collapse to "*";
+// consecutive dynamic tokens merge into a single "*". Applying Mask to a
+// rendered message and to its source template yields the same key, which
+// is what lets the parser, labeler and generator agree on vocabulary.
+func Mask(message string) string {
+	fields := strings.Fields(message)
+	out := make([]string, 0, len(fields))
+	prevDynamic := false
+	for _, tok := range fields {
+		if isDynamicToken(tok) {
+			if !prevDynamic {
+				out = append(out, "*")
+			}
+			prevDynamic = true
+			continue
+		}
+		out = append(out, tok)
+		prevDynamic = false
+	}
+	return strings.Join(out, " ")
+}
+
+func isDynamicToken(tok string) bool {
+	for i := 0; i < len(tok); i++ {
+		c := tok[i]
+		if (c >= '0' && c <= '9') || c == '*' {
+			return true
+		}
+	}
+	return false
+}

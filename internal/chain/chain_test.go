@@ -1,0 +1,292 @@
+package chain
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"desh/internal/label"
+	"desh/internal/logparse"
+	"desh/internal/logsim"
+)
+
+var t0 = time.Date(2026, 3, 1, 12, 0, 0, 0, time.UTC)
+
+// ev builds an encoded event at t0+offset seconds.
+func ev(node, key string, id int, offsetSecs float64) logparse.EncodedEvent {
+	return logparse.EncodedEvent{
+		Event: logparse.Event{
+			Time: t0.Add(time.Duration(offsetSecs * float64(time.Second))),
+			Node: node,
+			Key:  key,
+		},
+		ID: id,
+	}
+}
+
+func TestEpisodesSplitsOnGap(t *testing.T) {
+	lab := label.New()
+	events := []logparse.EncodedEvent{
+		ev("n", "DVS: Verify Filesystem *", 1, 0),
+		ev("n", "LustreError: * failed md_getattr err *", 2, 10),
+		ev("n", "Trap invalid code * Error *", 3, 20),
+		// 10-minute gap
+		ev("n", "DVS: Verify Filesystem *", 1, 620),
+		ev("n", "Out of memory: Killed process *", 4, 630),
+		ev("n", "Trap invalid code * Error *", 3, 640),
+	}
+	eps, err := Episodes(events, lab, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 2 {
+		t.Fatalf("%d episodes, want 2", len(eps))
+	}
+	if eps[0].Terminal || eps[1].Terminal {
+		t.Fatal("no terminal messages present")
+	}
+}
+
+func TestEpisodesClosesAtTerminal(t *testing.T) {
+	lab := label.New()
+	events := []logparse.EncodedEvent{
+		ev("n", "soft lockup CPU * stuck for * seconds", 1, 0),
+		ev("n", "Kernel panic - not syncing: softlockup hung tasks *", 2, 10),
+		ev("n", "cb_node_unavailable *", 3, 20),
+		// Immediately after, new anomalies start (within MaxGap).
+		ev("n", "DVS: Verify Filesystem *", 4, 40),
+		ev("n", "LustreError: * failed md_getattr err *", 5, 50),
+		ev("n", "Out of memory: Killed process *", 6, 60),
+	}
+	eps, err := Episodes(events, lab, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 2 {
+		t.Fatalf("%d episodes, want 2 (terminal must close the first)", len(eps))
+	}
+	if !eps[0].Terminal {
+		t.Fatal("first episode must be terminal")
+	}
+	if eps[1].Terminal {
+		t.Fatal("second episode must not be terminal")
+	}
+}
+
+func TestEpisodesIgnoresSafe(t *testing.T) {
+	lab := label.New()
+	events := []logparse.EncodedEvent{
+		ev("n", "Setting flag", 0, 0),
+		ev("n", "DVS: Verify Filesystem *", 1, 5),
+		ev("n", "WaitForBoot", 2, 6),
+		ev("n", "LustreError: * failed md_getattr err *", 3, 10),
+		ev("n", "Trap invalid code * Error *", 4, 15),
+	}
+	eps, err := Episodes(events, lab, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 1 {
+		t.Fatalf("%d episodes", len(eps))
+	}
+	for _, e := range eps[0].Events {
+		if e.Key == "Setting flag" || e.Key == "WaitForBoot" {
+			t.Fatal("Safe events leaked into episode")
+		}
+	}
+}
+
+func TestEpisodesMinLen(t *testing.T) {
+	lab := label.New()
+	events := []logparse.EncodedEvent{
+		ev("n", "DVS: Verify Filesystem *", 1, 0),
+		// long gap
+		ev("n", "Trap invalid code * Error *", 2, 600),
+		ev("n", "Out of memory: Killed process *", 3, 610),
+		ev("n", "LustreError: * failed md_getattr err *", 4, 620),
+	}
+	eps, err := Episodes(events, lab, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 1 {
+		t.Fatalf("%d episodes; the isolated event must be discarded", len(eps))
+	}
+	if len(eps[0].Events) != 3 {
+		t.Fatalf("episode has %d events", len(eps[0].Events))
+	}
+}
+
+func TestEpisodesRejectsMixedNodes(t *testing.T) {
+	lab := label.New()
+	events := []logparse.EncodedEvent{
+		ev("a", "DVS: Verify Filesystem *", 1, 0),
+		ev("b", "Trap invalid code * Error *", 2, 5),
+	}
+	if _, err := Episodes(events, lab, DefaultConfig()); err == nil {
+		t.Fatal("expected error for multi-node input")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{MaxGap: 0, MinLen: 1}).Validate(); err == nil {
+		t.Fatal("MaxGap=0 must fail")
+	}
+	if err := (Config{MaxGap: time.Second, MinLen: 0}).Validate(); err == nil {
+		t.Fatal("MinLen=0 must fail")
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromEpisodeDeltaT(t *testing.T) {
+	lab := label.New()
+	// Mirrors Table 4: ΔTs are cumulative differences to the terminal.
+	events := []logparse.EncodedEvent{
+		ev("n", "CPU *: Machine Check Exception:", 1, 0),
+		ev("n", "Kernel panic - not syncing: Fatal Machine check *", 2, 3.24),
+		ev("n", "Call Trace: *", 3, 3.265),
+		ev("n", "cb_node_unavailable *", 4, 7.822),
+	}
+	eps, err := Episodes(events, lab, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eps) != 1 || !eps[0].Terminal {
+		t.Fatalf("episodes: %+v", eps)
+	}
+	c := FromEpisode(eps[0])
+	wantDT := []float64{7.822, 4.582, 4.557, 0}
+	for i, w := range wantDT {
+		if math.Abs(c.Entries[i].DeltaT-w) > 1e-9 {
+			t.Fatalf("entry %d ΔT=%v want %v", i, c.Entries[i].DeltaT, w)
+		}
+	}
+	if math.Abs(c.Lead()-7.822) > 1e-9 {
+		t.Fatalf("Lead=%v", c.Lead())
+	}
+	if !c.Terminal {
+		t.Fatal("chain must be terminal")
+	}
+}
+
+func TestFromEpisodeNonTerminalAnchor(t *testing.T) {
+	lab := label.New()
+	events := []logparse.EncodedEvent{
+		ev("n", "DVS: Verify Filesystem *", 1, 0),
+		ev("n", "LustreError: * failed md_getattr err *", 2, 30),
+		ev("n", "Out of memory: Killed process *", 3, 60),
+	}
+	eps, err := Episodes(events, lab, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := FromEpisode(eps[0])
+	if c.Terminal {
+		t.Fatal("must not be terminal")
+	}
+	if c.Entries[2].DeltaT != 0 || c.Entries[0].DeltaT != 60 {
+		t.Fatalf("ΔTs %v %v", c.Entries[0].DeltaT, c.Entries[2].DeltaT)
+	}
+}
+
+func TestExtractAllSeparatesFailuresAndCandidates(t *testing.T) {
+	lab := label.New()
+	byNode := map[string][]logparse.EncodedEvent{
+		"a": {
+			ev("a", "soft lockup CPU * stuck for * seconds", 1, 0),
+			ev("a", "Kernel panic - not syncing: softlockup hung tasks *", 2, 10),
+			ev("a", "cb_node_unavailable *", 3, 20),
+		},
+		"b": {
+			ev("b", "DVS: Verify Filesystem *", 4, 0),
+			ev("b", "LustreError: * failed md_getattr err *", 5, 10),
+			ev("b", "Out of memory: Killed process *", 6, 20),
+		},
+	}
+	failures, candidates, err := ExtractAll(byNode, lab, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 1 || len(candidates) != 1 {
+		t.Fatalf("failures=%d candidates=%d", len(failures), len(candidates))
+	}
+	if failures[0].Node != "a" || candidates[0].Node != "b" {
+		t.Fatal("wrong node assignment")
+	}
+}
+
+func TestPhraseStatsContribution(t *testing.T) {
+	failures := []Chain{{Entries: []Entry{{ID: 1}, {ID: 2}}}}
+	candidates := []Chain{{Entries: []Entry{{ID: 2}, {ID: 2}, {ID: 3}}}}
+	s := CollectPhraseStats(failures, candidates)
+	if got := s.Contribution(1); got != 1 {
+		t.Fatalf("phrase 1 contribution %v", got)
+	}
+	if got := s.Contribution(2); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("phrase 2 contribution %v", got)
+	}
+	if got := s.Contribution(3); got != 0 {
+		t.Fatalf("phrase 3 contribution %v", got)
+	}
+	if got := s.Contribution(99); got != 0 {
+		t.Fatalf("unseen phrase contribution %v", got)
+	}
+}
+
+// End-to-end with the generator: extraction must recover nearly every
+// generated failure chain with an accurate lead time.
+func TestExtractionRecoversGeneratedChains(t *testing.T) {
+	run, err := logsim.Generate(logsim.Config{
+		Profile: logsim.Profiles()[0], Nodes: 80, Hours: 72, Failures: 60, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed []logparse.Event
+	for _, ge := range run.Events {
+		pe, err := logparse.ParseLine(ge.Line())
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed = append(parsed, pe)
+	}
+	var enc logparse.Encoder
+	byNode := logparse.ByNode(logparse.EncodeEvents(&enc, parsed))
+	failures, candidates, err := ExtractAll(byNode, label.New(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) < len(run.Failures)*9/10 {
+		t.Fatalf("recovered %d of %d failure chains", len(failures), len(run.Failures))
+	}
+	if len(candidates) < len(run.Masked)/2 {
+		t.Fatalf("recovered %d candidates for %d masked sequences", len(candidates), len(run.Masked))
+	}
+	// Match each recovered chain to ground truth by node + fail time.
+	matched := 0
+	for _, f := range failures {
+		for _, gt := range run.Failures {
+			if f.Node == gt.Node && absDuration(f.FailTime.Sub(gt.FailTime)) < time.Second {
+				matched++
+				// Recovered lead must be close to ground truth. Strays
+				// merged into the episode can only lengthen it slightly.
+				if f.Lead() < gt.Lead().Seconds()*0.7 || f.Lead() > gt.Lead().Seconds()*1.6+30 {
+					t.Fatalf("chain on %s: recovered lead %.1fs, truth %.1fs", f.Node, f.Lead(), gt.Lead().Seconds())
+				}
+				break
+			}
+		}
+	}
+	if matched < len(failures)*9/10 {
+		t.Fatalf("only %d/%d recovered chains matched ground truth", matched, len(failures))
+	}
+}
+
+func absDuration(d time.Duration) time.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}

@@ -1,0 +1,139 @@
+package chain
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"desh/internal/label"
+	"desh/internal/logparse"
+)
+
+// genEvents builds a random single-node event sequence of Unknown
+// phrases with the given second-offsets (sorted).
+func genEvents(offsets []float64) []logparse.EncodedEvent {
+	events := make([]logparse.EncodedEvent, len(offsets))
+	for i, off := range offsets {
+		events[i] = ev("n", "DVS: Verify Filesystem *", 1, off)
+	}
+	return events
+}
+
+// Property: episode segmentation never drops or duplicates events —
+// the total count across episodes is bounded by the input count, and
+// every episode is time-ordered and gap-bounded.
+func TestEpisodesPartitionProperty(t *testing.T) {
+	lab := label.New()
+	cfg := DefaultConfig()
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		// Strictly increasing offsets from the fuzzed deltas.
+		offsets := make([]float64, len(raw))
+		acc := 0.0
+		for i, d := range raw {
+			acc += float64(d%200) + 0.001
+			offsets[i] = acc
+		}
+		events := genEvents(offsets)
+		eps, err := Episodes(events, lab, cfg)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, ep := range eps {
+			total += len(ep.Events)
+			if len(ep.Events) < cfg.MinLen {
+				return false
+			}
+			for i := 1; i < len(ep.Events); i++ {
+				gap := ep.Events[i].Time.Sub(ep.Events[i-1].Time)
+				if gap < 0 || gap > cfg.MaxGap {
+					return false
+				}
+			}
+		}
+		return total <= len(events)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FromEpisode ΔTs are non-negative, non-increasing in time
+// order, and zero exactly at the anchor.
+func TestFromEpisodeDeltaTProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(8)
+		offsets := make([]float64, n)
+		acc := 0.0
+		for i := range offsets {
+			acc += rng.Float64() * 30
+			offsets[i] = acc
+		}
+		ep := Episode{Node: "n", Events: genEvents(offsets)}
+		c := FromEpisode(ep)
+		if c.Entries[n-1].DeltaT != 0 {
+			t.Fatalf("trial %d: anchor ΔT %v", trial, c.Entries[n-1].DeltaT)
+		}
+		for i := 1; i < n; i++ {
+			if c.Entries[i].DeltaT > c.Entries[i-1].DeltaT {
+				t.Fatalf("trial %d: ΔT increased along the chain", trial)
+			}
+			if c.Entries[i].DeltaT < 0 {
+				t.Fatalf("trial %d: negative ΔT", trial)
+			}
+		}
+		if c.Lead() != c.Entries[0].DeltaT {
+			t.Fatalf("trial %d: Lead() mismatch", trial)
+		}
+	}
+}
+
+// Property: splitting a node's events at an arbitrary quiet point and
+// segmenting the halves separately yields the same episodes as
+// segmenting the whole (episodes never straddle quiet gaps).
+func TestEpisodesSplitInvariance(t *testing.T) {
+	lab := label.New()
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		// Two bursts separated by a 10-minute gap.
+		var offsets []float64
+		acc := 0.0
+		for b := 0; b < 2; b++ {
+			for i := 0; i < 3+rng.Intn(4); i++ {
+				acc += rng.Float64() * 20
+				offsets = append(offsets, acc)
+			}
+			acc += 600
+		}
+		events := genEvents(offsets)
+		whole, err := Episodes(events, lab, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Split at the quiet gap.
+		splitAt := 0
+		for i := 1; i < len(events); i++ {
+			if events[i].Time.Sub(events[i-1].Time) > 5*time.Minute {
+				splitAt = i
+				break
+			}
+		}
+		a, err := Episodes(events[:splitAt], lab, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Episodes(events[splitAt:], lab, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(whole) != len(a)+len(b) {
+			t.Fatalf("trial %d: %d episodes whole vs %d+%d split", trial, len(whole), len(a), len(b))
+		}
+	}
+}

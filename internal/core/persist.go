@@ -1,0 +1,73 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"desh/internal/chain"
+	"desh/internal/label"
+	"desh/internal/logparse"
+	"desh/internal/nn"
+	"desh/internal/tensor"
+)
+
+// savedPipeline is the gob wire format of a trained pipeline. Gradients
+// travel along with the weights (they are zero between steps), which
+// keeps the format trivially simple.
+type savedPipeline struct {
+	Cfg        Config
+	Keys       []string
+	TrainVocab int
+	Phase1     *nn.SeqClassifier // nil when Phase 1 was skipped
+	Phase2     *nn.SeqRegressor
+	Embed      *tensor.Matrix // skip-gram vectors (nil if untrained)
+	Chains     []chain.Chain
+}
+
+// Save serializes a trained pipeline. Labeler overrides are not
+// persisted; re-apply them after Load.
+func (p *Pipeline) Save(w io.Writer) error {
+	if p.phase2 == nil {
+		return fmt.Errorf("core: cannot save an untrained pipeline")
+	}
+	s := savedPipeline{
+		Cfg:        p.cfg,
+		Keys:       p.enc.Keys(),
+		TrainVocab: p.trainVocab,
+		Phase1:     p.phase1,
+		Phase2:     p.phase2,
+		Chains:     p.trainedChains,
+	}
+	if p.emb != nil {
+		s.Embed = p.emb.In
+	}
+	if err := gob.NewEncoder(w).Encode(&s); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	return nil
+}
+
+// Load deserializes a pipeline previously written by Save.
+func Load(r io.Reader) (*Pipeline, error) {
+	var s savedPipeline
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	if err := s.Cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	if s.Phase2 == nil {
+		return nil, fmt.Errorf("core: load: model has no Phase-2 network")
+	}
+	p := &Pipeline{
+		cfg:           s.Cfg,
+		lab:           label.New(),
+		enc:           logparse.NewEncoderFromKeys(s.Keys),
+		phase1:        s.Phase1,
+		phase2:        s.Phase2,
+		trainVocab:    s.TrainVocab,
+		trainedChains: s.Chains,
+	}
+	return p, nil
+}

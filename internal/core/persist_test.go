@@ -1,0 +1,68 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSaveRequiresTraining(t *testing.T) {
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Save(&bytes.Buffer{}); err == nil {
+		t.Fatal("expected error saving untrained pipeline")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	_, events := generateParsed(t, pickProfile(2), 30, 48, 30, 52)
+	cfg := fastConfig()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Train(events[:len(events)*3/10]); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Encoder().Len() != p.Encoder().Len() {
+		t.Fatalf("vocab %d vs %d", loaded.Encoder().Len(), p.Encoder().Len())
+	}
+	if len(loaded.TrainedChains()) != len(p.TrainedChains()) {
+		t.Fatal("trained chains lost")
+	}
+	// Same test data must yield identical verdicts.
+	test := events[len(events)*3/10:]
+	a, err := p.Predict(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Predict(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("verdict counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Flagged != b[i].Flagged || math.Abs(a[i].LeadSeconds-b[i].LeadSeconds) > 1e-9 {
+			t.Fatalf("verdict %d differs after reload", i)
+		}
+	}
+}
+
+func TestLoadGarbageFails(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a gob stream")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"desh/internal/catalog"
+	"desh/internal/chain"
+	"desh/internal/logparse"
+	"desh/internal/loss"
+	"desh/internal/metrics"
+)
+
+// Verdict is Phase 3's judgement of one candidate sequence on one node.
+type Verdict struct {
+	Node       string
+	AnchorTime time.Time // time of the sequence's last event
+	// Flagged reports whether Desh predicts an impending node failure.
+	Flagged bool
+	// FlagIndex is the observation index at which the failure was
+	// flagged (-1 when not flagged).
+	FlagIndex int
+	// LeadSeconds is the predicted lead time: the ΔT of the observation
+	// at the flagging point (paper §3.3: "if a failure is flagged after
+	// checking P3 we get 2.5 minutes lead time").
+	LeadSeconds float64
+	// MinMSE is the smallest next-sample MSE observed over the sequence.
+	MinMSE float64
+	// Chain is the underlying candidate sequence; Chain.Terminal is the
+	// ground-truth label (the sequence really ended in a node failure).
+	Chain chain.Chain
+}
+
+// Predict runs Phase-3 inference over parsed test events: per-node
+// episode segmentation, ΔT vectorization, and streaming next-sample
+// matching against the Phase-2 model.
+func (p *Pipeline) Predict(events []logparse.Event) ([]Verdict, error) {
+	if p.phase2 == nil {
+		return nil, fmt.Errorf("core: pipeline is not trained")
+	}
+	encoded := logparse.EncodeEvents(p.enc, events)
+	byNode := logparse.ByNode(encoded)
+	failures, candidates, err := chain.ExtractAll(byNode, p.lab, p.cfg.ChainCfg)
+	if err != nil {
+		return nil, err
+	}
+	all := append(failures, candidates...)
+	sort.Slice(all, func(i, j int) bool {
+		if !all[i].FailTime.Equal(all[j].FailTime) {
+			return all[i].FailTime.Before(all[j].FailTime)
+		}
+		return all[i].Node < all[j].Node
+	})
+	verdicts := make([]Verdict, len(all))
+	for i, c := range all {
+		verdicts[i] = p.Detect(c)
+	}
+	return verdicts, nil
+}
+
+// Detect scores one candidate sequence. The Phase-2 LSTM streams over
+// the observed 2-state vectors predicting each next sample; when the
+// prediction matches the observation (MSE <= MSEThreshold) for
+// MinMatches consecutive transitions, the sequence is flagged as an
+// impending failure at that point.
+func (p *Pipeline) Detect(c chain.Chain) Verdict {
+	return p.DetectWith(c, p.cfg.MSEThreshold, p.cfg.MinMatches)
+}
+
+// DetectWith is Detect with explicit threshold and match-count
+// settings — the Figure-8 sensitivity knob: looser settings flag
+// earlier (longer lead times) at the cost of more false positives.
+func (p *Pipeline) DetectWith(c chain.Chain, threshold float64, minMatches int) Verdict {
+	v := Verdict{
+		Node:       c.Node,
+		AnchorTime: c.FailTime,
+		FlagIndex:  -1,
+		MinMSE:     math.Inf(1),
+		Chain:      c,
+	}
+	raw := p.Vectorize(c)
+	inputs := p.VectorizeInput(c)
+	if len(raw) < 2 {
+		return v
+	}
+	idScale := p.idTargetScale()
+	stream := p.phase2.NewStream()
+	consecutive := 0
+	for i := 0; i+1 < len(raw); i++ {
+		pred := stream.Step(inputs[i])
+		// Undo the target scaling so the MSE threshold applies in the
+		// paper's raw (ΔT minutes, phrase id) space.
+		predRaw := []float64{pred[0], pred[1] / idScale}
+		mse := loss.MSE(predRaw, raw[i+1])
+		if mse < v.MinMSE {
+			v.MinMSE = mse
+		}
+		// The first transition is predicted from a single observation;
+		// it carries no sequence evidence, so it never counts.
+		if i == 0 {
+			continue
+		}
+		if mse <= threshold {
+			consecutive++
+			if !v.Flagged && consecutive >= minMatches {
+				v.Flagged = true
+				v.FlagIndex = i + 1
+				v.LeadSeconds = c.Entries[i+1].DeltaT
+			}
+		} else {
+			consecutive = 0
+		}
+	}
+	return v
+}
+
+// Score folds verdicts into the Table-6 confusion matrix using the
+// ground-truth labels carried on each chain, and collects the predicted
+// lead times of the true positives.
+func Score(verdicts []Verdict) (metrics.Confusion, []float64) {
+	var conf metrics.Confusion
+	var leads []float64
+	for _, v := range verdicts {
+		truth := v.Chain.Terminal
+		switch {
+		case v.Flagged && truth:
+			conf.TP++
+			leads = append(leads, v.LeadSeconds)
+		case v.Flagged && !truth:
+			conf.FP++
+		case !v.Flagged && truth:
+			conf.FN++
+		default:
+			conf.TN++
+		}
+	}
+	return conf, leads
+}
+
+// ClassOf infers the failure class of a chain by majority vote over its
+// phrases' catalog class associations — how the evaluation groups node
+// failures into the Table-7 classes without consulting ground truth.
+func ClassOf(c chain.Chain) catalog.Class {
+	counts := map[catalog.Class]int{}
+	for _, e := range c.Entries {
+		if p, ok := catalog.Lookup(e.Key); ok && p.Class != catalog.ClassNone {
+			counts[p.Class]++
+		}
+	}
+	best, bestN := catalog.ClassNone, 0
+	for _, cl := range catalog.Classes {
+		if counts[cl] > bestN {
+			best, bestN = cl, counts[cl]
+		}
+	}
+	return best
+}

@@ -1,0 +1,432 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"desh/internal/chain"
+	"desh/internal/embed"
+	"desh/internal/label"
+	"desh/internal/logparse"
+	"desh/internal/nn"
+	"desh/internal/opt"
+)
+
+// Pipeline is a trained (or trainable) Desh instance.
+type Pipeline struct {
+	cfg Config
+	lab *label.Labeler
+	enc *logparse.Encoder
+
+	emb        *embed.Model
+	phase1     *nn.SeqClassifier
+	phase2     *nn.SeqRegressor
+	trainVocab int // vocabulary size frozen at training time
+
+	trainedChains []chain.Chain
+}
+
+// New returns an untrained pipeline.
+func New(cfg Config) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Pipeline{
+		cfg: cfg,
+		lab: label.New(),
+		enc: &logparse.Encoder{},
+	}, nil
+}
+
+// Config returns the pipeline configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// Labeler exposes the phrase labeler for deployment-specific overrides.
+func (p *Pipeline) Labeler() *label.Labeler { return p.lab }
+
+// Encoder exposes the phrase-id encoder.
+func (p *Pipeline) Encoder() *logparse.Encoder { return p.enc }
+
+// TrainedChains returns the failure chains learned during Phase 2.
+func (p *Pipeline) TrainedChains() []chain.Chain { return p.trainedChains }
+
+// Phase1Model returns the trained phrase-sequence classifier (nil if
+// Phase 1 was skipped).
+func (p *Pipeline) Phase1Model() *nn.SeqClassifier { return p.phase1 }
+
+// Phase2Model returns the trained ΔT regressor.
+func (p *Pipeline) Phase2Model() *nn.SeqRegressor { return p.phase2 }
+
+// TrainReport summarizes a Train run.
+type TrainReport struct {
+	Events        int
+	Vocab         int
+	Nodes         int
+	FailureChains int
+	// Phase1Loss is the mean cross-entropy of the final Phase-1 epoch
+	// (0 when Phase 1 is skipped).
+	Phase1Loss float64
+	// Phase1Accuracy is the teacher-forced next-phrase accuracy on the
+	// training stream after training.
+	Phase1Accuracy float64
+	// Phase2Loss is the mean MSE of the final Phase-2 epoch.
+	Phase2Loss float64
+}
+
+// Train runs Phases 1 and 2 over parsed training events (the 30% split
+// in the paper's evaluation).
+func (p *Pipeline) Train(events []logparse.Event) (*TrainReport, error) {
+	if len(events) == 0 {
+		return nil, fmt.Errorf("core: no training events")
+	}
+	rng := rand.New(rand.NewSource(p.cfg.Seed))
+	encoded := logparse.EncodeEvents(p.enc, events)
+	byNode := logparse.ByNode(encoded)
+	report := &TrainReport{Events: len(events), Nodes: len(byNode)}
+
+	// Deterministic node order for training-sequence concatenation.
+	nodes := make([]string, 0, len(byNode))
+	for n := range byNode {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	// Per-node phrase-id sequences (time order is preserved from input).
+	seqs := make([][]int, 0, len(nodes))
+	for _, n := range nodes {
+		evs := byNode[n]
+		seq := make([]int, len(evs))
+		for i, ev := range evs {
+			seq[i] = ev.ID
+		}
+		seqs = append(seqs, seq)
+	}
+	p.trainVocab = p.enc.Len()
+	report.Vocab = p.trainVocab
+
+	// Skip-gram embeddings over the phrase sequences (§3.1).
+	embCfg := embed.DefaultConfig(p.cfg.EmbedDim)
+	embCfg.Seed = p.cfg.Seed
+	p.emb = embed.Train(seqs, p.trainVocab, embCfg)
+
+	// Phase 1: stacked-LSTM next-phrase training.
+	if p.cfg.Epochs1 > 0 {
+		p.phase1 = nn.NewSeqClassifier(p.trainVocab, p.cfg.EmbedDim, p.cfg.Hidden1, p.cfg.Layers1, rng)
+		p.phase1.SetEmbeddings(p.emb.In)
+		p.phase1.TrainEmbed = p.cfg.TrainEmbeddings
+		loss, acc := p.trainPhase1(seqs, rng)
+		report.Phase1Loss = loss
+		report.Phase1Accuracy = acc
+	}
+
+	// Chain formation: drop Safe phrases, segment episodes, keep
+	// terminal-anchored chains with their ΔTs (§3.1 "trained failure
+	// chains").
+	failures, _, err := chain.ExtractAll(byNode, p.lab, p.cfg.ChainCfg)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(failures, func(i, j int) bool {
+		if !failures[i].FailTime.Equal(failures[j].FailTime) {
+			return failures[i].FailTime.Before(failures[j].FailTime)
+		}
+		return failures[i].Node < failures[j].Node
+	})
+	p.trainedChains = failures
+	report.FailureChains = len(failures)
+	if len(failures) == 0 {
+		return report, fmt.Errorf("core: no failure chains found in training data")
+	}
+
+	// Phase 2: ΔT regression over the failure chains. The output bias
+	// starts at the target means so the first updates fight chain
+	// structure rather than the scale of the targets.
+	p.phase2 = nn.NewSeqRegressorIO(2, 2, p.cfg.Hidden2, p.cfg.Layers2, rng)
+	var meanDT, meanID, n float64
+	for _, c := range failures {
+		for _, v := range p.vectorizeTargets(c) {
+			meanDT += v[0]
+			meanID += v[1]
+			n++
+		}
+	}
+	if n > 0 {
+		p.phase2.Out.B.Value.Data[0] = meanDT / n
+		p.phase2.Out.B.Value.Data[1] = meanID / n
+	}
+	report.Phase2Loss = p.trainPhase2(failures, rng)
+	return report, nil
+}
+
+// trainPhase1 runs the Table-5 Phase-1 regime: sliding windows of
+// History1 phrases predicting the next Steps1 phrases, SGD with
+// categorical cross-entropy. Returns final-epoch loss and the
+// teacher-forced next-phrase accuracy.
+func (p *Pipeline) trainPhase1(seqs [][]int, rng *rand.Rand) (finalLoss, accuracy float64) {
+	sgd := opt.NewSGD(p.cfg.LR1)
+	window := p.cfg.History1 + p.cfg.Steps1
+	type win struct{ seq, off int }
+	var wins []win
+	for si, seq := range seqs {
+		for off := 0; off+window <= len(seq); off += p.cfg.Steps1 {
+			wins = append(wins, win{si, off})
+		}
+	}
+	if len(wins) == 0 {
+		return 0, 0
+	}
+	for epoch := 0; epoch < p.cfg.Epochs1; epoch++ {
+		rng.Shuffle(len(wins), func(i, j int) { wins[i], wins[j] = wins[j], wins[i] })
+		total := 0.0
+		for _, w := range wins {
+			total += p.phase1.WindowLoss(seqs[w.seq][w.off:w.off+window], p.cfg.History1, p.cfg.Steps1)
+			sgd.Step(p.phase1.Params())
+		}
+		finalLoss = total / float64(len(wins))
+	}
+	// Accuracy: 1-step greedy prediction over a sample of windows.
+	correct, checked := 0, 0
+	for i, w := range wins {
+		if i%7 != 0 { // sample to bound cost
+			continue
+		}
+		seq := seqs[w.seq][w.off : w.off+window]
+		pred := p.phase1.Predict(seq[:p.cfg.History1], 1)
+		if pred[0] == seq[p.cfg.History1] {
+			correct++
+		}
+		checked++
+	}
+	if checked > 0 {
+		accuracy = float64(correct) / float64(checked)
+	}
+	return finalLoss, accuracy
+}
+
+// trainPhase2 trains the regressor on failure-chain vector sequences
+// with RMSprop + MSE, 1-step prediction. Training is teacher-forced over
+// each whole chain — after reading the chain's first t vectors the model
+// predicts vector t+1 — which mirrors the streaming Phase-3 detector
+// exactly. Inputs are the normalized vectors, targets the scaled ones
+// (see the Vectorize variants below). Returns the mean target-space MSE
+// of the last epoch.
+func (p *Pipeline) trainPhase2(chains []chain.Chain, rng *rand.Rand) float64 {
+	rms := opt.NewRMSprop(p.cfg.LR2)
+	type sample struct {
+		inputs, targets [][]float64
+		sig             string
+	}
+	var samples []sample
+	for _, c := range chains {
+		inputs := p.VectorizeInput(c)
+		targets := p.vectorizeTargets(c)
+		if len(inputs) < 2 {
+			continue
+		}
+		sig := ""
+		for _, e := range c.Entries {
+			sig += fmt.Sprintf("%d,", e.ID)
+		}
+		samples = append(samples, sample{inputs[:len(inputs)-1], targets[1:], sig})
+	}
+	if len(samples) == 0 {
+		return 0
+	}
+	// Stage A: train on everything for a third of the budget, then score
+	// each chain and drop the worst TrimFrac — one-off "novel" failure
+	// patterns whose unique transitions would otherwise drag the
+	// squared-loss-optimal predictions away from the recurring chains.
+	// This is the paper's "trained failure chains": Phase 2 learns the
+	// chains Phase 1 recognizes, not every anomalous sequence verbatim.
+	warmup := p.cfg.Epochs2 / 3
+	if warmup < 3 {
+		warmup = 3
+	}
+	// scaleDT rescales the ΔT component of a vector sequence by f,
+	// reusing buf. Training with random lead rescaling per presentation
+	// teaches the model that a chain is the same chain whether it plays
+	// out over 90 or 150 seconds — otherwise the LSTM memorizes exact
+	// ΔT values as lookup keys and fails on test chains whose lead-time
+	// jitter it has never seen.
+	scaleDT := func(vecs [][]float64, f, shift, noise float64, buf *[][]float64) [][]float64 {
+		for len(*buf) < len(vecs) {
+			*buf = append(*buf, make([]float64, 2))
+		}
+		out := (*buf)[:len(vecs)]
+		for i, v := range vecs {
+			out[i][0] = v[0]*f + shift
+			if noise > 0 {
+				out[i][0] += rng.NormFloat64() * noise
+			}
+			out[i][1] = v[1]
+		}
+		return out
+	}
+	var inBuf, tgBuf [][]float64
+	runEpochs := func(epochs int) float64 {
+		final := 0.0
+		for epoch := 0; epoch < epochs; epoch++ {
+			rng.Shuffle(len(samples), func(i, j int) { samples[i], samples[j] = samples[j], samples[i] })
+			total := 0.0
+			for _, s := range samples {
+				// Random rescaling of the ΔT axis: a chain is the same
+				// chain whether it plays out over 90 or 150 seconds, so
+				// the model must key on phrase structure rather than
+				// absolute ΔT values. Inputs additionally get additive
+				// noise; targets stay noise-free.
+				f := 0.5 + rng.Float64()
+				in := scaleDT(s.inputs, f, 0, 0.1, &inBuf)
+				tg := scaleDT(s.targets, f, 0, 0, &tgBuf)
+				total += p.phase2.SequenceLoss(in, tg)
+				rms.Step(p.phase2.Params())
+			}
+			final = total / float64(len(samples))
+		}
+		return final
+	}
+	runEpochs(warmup)
+	if p.cfg.TrimFrac > 0 && len(samples) >= 5 {
+		// Only one-off phrase sequences are trim candidates: a chain
+		// whose exact sequence recurs is a real template even if the
+		// model has not fit it yet, while a unique sequence with high
+		// warmup loss is a novel pattern that would drag the
+		// squared-loss optimum away from the recurring chains.
+		sigCount := map[string]int{}
+		for _, s := range samples {
+			sigCount[s.sig]++
+		}
+		type scored struct {
+			s    sample
+			loss float64
+		}
+		var oneOff []scored
+		var kept []sample
+		for _, s := range samples {
+			if sigCount[s.sig] == 1 {
+				oneOff = append(oneOff, scored{s, p.phase2.SequenceLoss(s.inputs, s.targets)})
+				continue
+			}
+			kept = append(kept, s)
+		}
+		nn.ZeroGrads(p.phase2.Params())
+		sort.Slice(oneOff, func(i, j int) bool { return oneOff[i].loss < oneOff[j].loss })
+		drop := int(float64(len(samples)) * p.cfg.TrimFrac)
+		if drop > len(oneOff) {
+			drop = len(oneOff)
+		}
+		for _, sc := range oneOff[:len(oneOff)-drop] {
+			kept = append(kept, sc.s)
+		}
+		if len(kept) >= 2 {
+			samples = kept
+		}
+	}
+	// Stage B: finish on the kept chains with a decaying learning rate.
+	// RMSprop's steady-state oscillation is proportional to the step
+	// size; the raw-id match needs sub-id precision, so the final epochs
+	// run at a fraction of LR2.
+	remaining := p.cfg.Epochs2 - warmup
+	if remaining < 3 {
+		remaining = 3
+	}
+	stage1 := remaining / 2
+	stage2 := (remaining - stage1) / 2
+	stage3 := remaining - stage1 - stage2
+	runEpochs(stage1)
+	rms.LR = p.cfg.LR2 / 4
+	runEpochs(stage2)
+	rms.LR = p.cfg.LR2 / 16
+	return runEpochs(stage3)
+}
+
+// idTargetScale maps raw phrase ids into a modest regression range
+// (about [0,8]) so the output layer's weights stay small; Detect divides
+// predictions by the same factor to score in raw id space.
+func (p *Pipeline) idTargetScale() float64 {
+	vocab := p.vocab()
+	return 8.0 / float64(vocab)
+}
+
+func (p *Pipeline) vocab() int {
+	vocab := p.trainVocab
+	if vocab == 0 {
+		vocab = p.enc.Len()
+	}
+	if vocab == 0 {
+		vocab = 1
+	}
+	return vocab
+}
+
+// Vectorize converts a chain into the Phase-2/3 2-state vectors:
+// [ΔT in minutes, raw phrase id] — the Table-4 "Phrase Vector" encoding.
+// Keeping the phrase id unscaled is what makes the paper's MSE <= 0.5
+// threshold behave like a discrete phrase-equality check: predicting the
+// wrong next phrase is off by at least one id unit and alone contributes
+// 0.5 to the 2-component MSE, while a correct phrase with sub-minute ΔT
+// error scores well below the threshold. Phrase ids beyond the training
+// vocabulary share the out-of-vocabulary bucket.
+func (p *Pipeline) Vectorize(c chain.Chain) [][]float64 {
+	vocab := p.vocab()
+	vecs := make([][]float64, len(c.Entries))
+	for i, e := range c.Entries {
+		id := e.ID
+		if id >= vocab {
+			id = vocab - 1
+		}
+		vecs[i] = []float64{
+			e.DeltaT / 60.0,
+			float64(id),
+		}
+	}
+	return vecs
+}
+
+// VectorizeInput is the LSTM-facing view of a chain: ΔT in minutes and
+// the phrase id normalized to [0,1] so the recurrent gates are not
+// saturated by raw id magnitudes.
+func (p *Pipeline) VectorizeInput(c chain.Chain) [][]float64 {
+	vocab := p.vocab()
+	raw := p.Vectorize(c)
+	for _, v := range raw {
+		v[1] /= float64(vocab)
+	}
+	return raw
+}
+
+// vectorizeTargets is the regression-target view: ΔT in minutes and the
+// phrase id multiplied by idTargetScale.
+func (p *Pipeline) vectorizeTargets(c chain.Chain) [][]float64 {
+	s := p.idTargetScale()
+	raw := p.Vectorize(c)
+	for _, v := range raw {
+		v[1] *= s
+	}
+	return raw
+}
+
+// SplitEvents divides a time-ordered event stream into a training
+// prefix covering frac of the time span and a test remainder — the
+// paper's 30%/70% split.
+func SplitEvents(events []logparse.Event, frac float64) (train, test []logparse.Event) {
+	if len(events) == 0 {
+		return nil, nil
+	}
+	if frac <= 0 {
+		return nil, events
+	}
+	if frac >= 1 {
+		return events, nil
+	}
+	start := events[0].Time
+	end := events[len(events)-1].Time
+	cut := start.Add(time.Duration(float64(end.Sub(start)) * frac))
+	for i, ev := range events {
+		if ev.Time.After(cut) {
+			return events[:i], events[i:]
+		}
+	}
+	return events, nil
+}

@@ -1,0 +1,198 @@
+package deeplog
+
+import (
+	"testing"
+	"time"
+
+	"desh/internal/logparse"
+	"desh/internal/logsim"
+)
+
+func mkEvents(keys []string) []logparse.Event {
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	events := make([]logparse.Event, len(keys))
+	for i, k := range keys {
+		events[i] = logparse.Event{
+			Time: base.Add(time.Duration(i) * time.Second),
+			Node: "c0-0c0s0n0",
+			Key:  k,
+		}
+	}
+	return events
+}
+
+// repeatingCorpus yields a highly regular stream (motif a b c d).
+func repeatingCorpus(n int) []logparse.Event {
+	motif := []string{"boot start", "mount fs", "launch job", "job done"}
+	var keys []string
+	for i := 0; i < n; i++ {
+		keys = append(keys, motif...)
+	}
+	return mkEvents(keys)
+}
+
+func fastCfg() Config {
+	cfg := DefaultConfig()
+	cfg.History = 4
+	cfg.TopG = 1
+	cfg.Epochs = 8
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Config{
+		{Hidden: 0, Layers: 1, History: 1, TopG: 1, Epochs: 1, LR: 1},
+		{Hidden: 1, Layers: 1, History: 0, TopG: 1, Epochs: 1, LR: 1},
+		{Hidden: 1, Layers: 1, History: 1, TopG: 0, Epochs: 1, LR: 1},
+		{Hidden: 1, Layers: 1, History: 1, TopG: 1, Epochs: 0, LR: 1},
+		{Hidden: 1, Layers: 1, History: 1, TopG: 1, Epochs: 1, LR: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("config %+v should fail validation", bad)
+		}
+	}
+}
+
+func TestTrainRequiresEvents(t *testing.T) {
+	if _, err := Train(nil, DefaultConfig()); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestTrainRequiresLongEnoughSequences(t *testing.T) {
+	if _, err := Train(mkEvents([]string{"a", "b"}), DefaultConfig()); err == nil {
+		t.Fatal("expected error for sequences shorter than history")
+	}
+}
+
+func TestNormalStreamNotAnomalous(t *testing.T) {
+	d, err := Train(repeatingCorpus(60), fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := repeatingCorpus(10)
+	flags := d.EntryAnomalies(test)
+	anomalous := 0
+	for _, f := range flags {
+		if f {
+			anomalous++
+		}
+	}
+	if anomalous > len(flags)/10 {
+		t.Fatalf("%d/%d normal entries flagged", anomalous, len(flags))
+	}
+}
+
+func TestInjectedKeyFlagged(t *testing.T) {
+	d, err := Train(repeatingCorpus(60), fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"boot start", "mount fs", "launch job", "job done",
+		"boot start", "mount fs", "kernel panic fatal", "job done",
+		"boot start", "mount fs", "launch job", "job done"}
+	events := mkEvents(keys)
+	flags := d.EntryAnomalies(events)
+	if !flags[6] {
+		t.Fatal("injected unknown key must be flagged")
+	}
+	anomalous, n := d.SequenceAnomalous(events)
+	if !anomalous || n < 1 {
+		t.Fatalf("sequence verdict %v count %d", anomalous, n)
+	}
+}
+
+func TestFirstEntriesNeverFlagged(t *testing.T) {
+	d, err := Train(repeatingCorpus(30), fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With no usable context the first two entries must never be
+	// flagged, however strange their keys.
+	flags := d.EntryAnomalies(mkEvents([]string{"x", "y", "z", "w", "v"}))
+	for i := 0; i < 2; i++ {
+		if flags[i] {
+			t.Fatalf("entry %d flagged without context", i)
+		}
+	}
+}
+
+func TestOOVKeysMapToSharedSlot(t *testing.T) {
+	d, err := Train(repeatingCorpus(30), fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.keyID("never seen A") != d.keyID("never seen B") {
+		t.Fatal("all OOV keys must share one id")
+	}
+	if d.keyID("boot start") == d.keyID("never seen A") {
+		t.Fatal("known keys must not collide with OOV")
+	}
+}
+
+func TestTopGWidensAcceptance(t *testing.T) {
+	// With TopG == vocabulary size nothing can be anomalous.
+	cfg := fastCfg()
+	cfg.TopG = 100
+	d, err := Train(repeatingCorpus(30), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flags := d.EntryAnomalies(repeatingCorpus(5))
+	for i, f := range flags {
+		if f {
+			t.Fatalf("entry %d flagged despite top-g covering the vocabulary", i)
+		}
+	}
+}
+
+// On generated machine logs, DeepLog flags failure-chain sequences more
+// often than benign traffic — the Table-10 comparison substrate.
+func TestDeepLogOnGeneratedLogs(t *testing.T) {
+	run, err := logsim.Generate(logsim.Config{
+		Profile: logsim.Profiles()[2], Nodes: 40, Hours: 48, Failures: 30, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []logparse.Event
+	for _, ge := range run.Events {
+		ev, err := logparse.ParseLine(ge.Line())
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+	}
+	cfg := DefaultConfig()
+	cfg.Epochs = 1
+	cfg.History = 6
+	d, err := Train(events[:len(events)/3], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byNode := map[string][]logparse.Event{}
+	for _, ev := range events[len(events)/3:] {
+		byNode[ev.Node] = append(byNode[ev.Node], ev)
+	}
+	flagged := 0
+	total := 0
+	for _, evs := range byNode {
+		if len(evs) <= cfg.History {
+			continue
+		}
+		anomalous, _ := d.SequenceAnomalous(evs)
+		total++
+		if anomalous {
+			flagged++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no node sequences to score")
+	}
+	if flagged == 0 {
+		t.Fatal("DeepLog flagged nothing on logs containing failures")
+	}
+}

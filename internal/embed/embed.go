@@ -1,0 +1,225 @@
+// Package embed trains skip-gram word embeddings with negative sampling
+// (Mikolov et al. 2013) over encoded phrase sequences. Desh vectorizes
+// encoded phrases this way before LSTM training so semantically related
+// phrases (Lustre, LNet, Hwerror, ...) end up close in vector space
+// (§3.1). The paper's asymmetric context window — 8 phrases left of the
+// target and 3 right — is the default.
+package embed
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"desh/internal/tensor"
+)
+
+// Config controls skip-gram training.
+type Config struct {
+	Dim         int     // embedding dimensionality
+	WindowLeft  int     // context phrases before the target (paper: 8)
+	WindowRight int     // context phrases after the target (paper: 3)
+	NegSamples  int     // negative samples per positive pair
+	LR          float64 // initial learning rate, linearly decayed
+	Epochs      int     // passes over the corpus
+	Seed        int64   // RNG seed for init, sampling and shuffling
+}
+
+// DefaultConfig mirrors the paper's settings with sane training knobs.
+func DefaultConfig(dim int) Config {
+	return Config{
+		Dim:         dim,
+		WindowLeft:  8,
+		WindowRight: 3,
+		NegSamples:  5,
+		LR:          0.05,
+		Epochs:      3,
+		Seed:        1,
+	}
+}
+
+// Model holds the learned vectors. In (center) vectors are the embedding
+// used downstream; Out (context) vectors exist only during training but
+// are kept for inspection.
+type Model struct {
+	Vocab, Dim int
+	In, Out    *tensor.Matrix
+}
+
+// Train learns embeddings for a vocabulary of the given size from token
+// sequences. Tokens must be in [0, vocab). Sequences shorter than two
+// tokens contribute nothing.
+func Train(seqs [][]int, vocab int, cfg Config) *Model {
+	if vocab <= 0 {
+		panic(fmt.Sprintf("embed: invalid vocab %d", vocab))
+	}
+	if cfg.Dim <= 0 {
+		panic(fmt.Sprintf("embed: invalid dim %d", cfg.Dim))
+	}
+	if cfg.WindowLeft < 0 || cfg.WindowRight < 0 || cfg.WindowLeft+cfg.WindowRight == 0 {
+		panic(fmt.Sprintf("embed: invalid window %d/%d", cfg.WindowLeft, cfg.WindowRight))
+	}
+	if cfg.Epochs <= 0 || cfg.LR <= 0 {
+		panic(fmt.Sprintf("embed: invalid epochs=%d lr=%v", cfg.Epochs, cfg.LR))
+	}
+	if cfg.NegSamples < 1 {
+		cfg.NegSamples = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	m := &Model{
+		Vocab: vocab,
+		Dim:   cfg.Dim,
+		In:    tensor.New(vocab, cfg.Dim),
+		Out:   tensor.New(vocab, cfg.Dim),
+	}
+	// Standard word2vec init: uniform small for In, zero for Out.
+	for i := range m.In.Data {
+		m.In.Data[i] = (rng.Float64() - 0.5) / float64(cfg.Dim)
+	}
+
+	table := buildUnigramTable(seqs, vocab, rng)
+
+	totalPairs := 0
+	for _, s := range seqs {
+		totalPairs += len(s)
+	}
+	totalWork := float64(cfg.Epochs*totalPairs + 1)
+	processed := 0.0
+
+	gradIn := make([]float64, cfg.Dim)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, seq := range seqs {
+			for c := range seq {
+				lr := cfg.LR * (1 - processed/totalWork)
+				if lr < cfg.LR*1e-4 {
+					lr = cfg.LR * 1e-4
+				}
+				processed++
+				center := seq[c]
+				checkToken(center, vocab)
+				lo := c - cfg.WindowLeft
+				if lo < 0 {
+					lo = 0
+				}
+				hi := c + cfg.WindowRight
+				if hi > len(seq)-1 {
+					hi = len(seq) - 1
+				}
+				vIn := m.In.Row(center)
+				for p := lo; p <= hi; p++ {
+					if p == c {
+						continue
+					}
+					ctx := seq[p]
+					checkToken(ctx, vocab)
+					tensor.VecZero(gradIn)
+					// Positive pair plus NegSamples negatives.
+					trainPair(vIn, m.Out.Row(ctx), 1, lr, gradIn)
+					for n := 0; n < cfg.NegSamples; n++ {
+						neg := table[rng.Intn(len(table))]
+						if neg == ctx {
+							continue
+						}
+						trainPair(vIn, m.Out.Row(neg), 0, lr, gradIn)
+					}
+					tensor.Axpy(1, gradIn, vIn)
+				}
+			}
+		}
+	}
+	return m
+}
+
+func checkToken(tok, vocab int) {
+	if tok < 0 || tok >= vocab {
+		panic(fmt.Sprintf("embed: token %d out of vocab %d", tok, vocab))
+	}
+}
+
+// trainPair applies one logistic-regression SGD update for a
+// (center, context, label) triple. It updates the context vector in
+// place and accumulates the center-vector gradient into gradIn.
+func trainPair(vIn, vOut []float64, label float64, lr float64, gradIn []float64) {
+	score := sigmoid(tensor.Dot(vIn, vOut))
+	g := lr * (label - score)
+	for i := range vOut {
+		gradIn[i] += g * vOut[i]
+		vOut[i] += g * vIn[i]
+	}
+}
+
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}
+
+// buildUnigramTable returns a sampling table where each token appears
+// proportionally to its corpus frequency raised to the 3/4 power, the
+// word2vec negative-sampling distribution. Tokens never seen still get
+// one slot so sampling cannot fail on tiny corpora.
+func buildUnigramTable(seqs [][]int, vocab int, rng *rand.Rand) []int {
+	counts := make([]float64, vocab)
+	for _, s := range seqs {
+		for _, tok := range s {
+			if tok >= 0 && tok < vocab {
+				counts[tok]++
+			}
+		}
+	}
+	const tableSize = 1 << 16
+	table := make([]int, 0, tableSize)
+	total := 0.0
+	for i := range counts {
+		counts[i] = math.Pow(counts[i], 0.75)
+		if counts[i] == 0 {
+			counts[i] = 1e-3
+		}
+		total += counts[i]
+	}
+	for i, c := range counts {
+		slots := int(c / total * tableSize)
+		if slots < 1 {
+			slots = 1
+		}
+		for s := 0; s < slots; s++ {
+			table = append(table, i)
+		}
+	}
+	rng.Shuffle(len(table), func(i, j int) { table[i], table[j] = table[j], table[i] })
+	return table
+}
+
+// Vector returns the learned embedding for a token (aliased).
+func (m *Model) Vector(tok int) []float64 {
+	checkToken(tok, m.Vocab)
+	return m.In.Row(tok)
+}
+
+// Cosine returns the cosine similarity between two tokens' embeddings.
+func (m *Model) Cosine(a, b int) float64 {
+	va, vb := m.Vector(a), m.Vector(b)
+	na, nb := tensor.Norm2(va), tensor.Norm2(vb)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return tensor.Dot(va, vb) / (na * nb)
+}
+
+// MostSimilar returns the k tokens most cosine-similar to tok, excluding
+// tok itself, in descending similarity order.
+func (m *Model) MostSimilar(tok, k int) []int {
+	sims := make([]float64, m.Vocab)
+	for i := 0; i < m.Vocab; i++ {
+		if i == tok {
+			sims[i] = math.Inf(-1)
+			continue
+		}
+		sims[i] = m.Cosine(tok, i)
+	}
+	return tensor.TopK(sims, k)
+}

@@ -1,0 +1,181 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// corpus with two disjoint topic clusters: tokens 0-3 co-occur, tokens
+// 4-7 co-occur, never across. Skip-gram must place within-cluster pairs
+// closer than cross-cluster pairs.
+func clusteredCorpus(rng *rand.Rand, n int) [][]int {
+	var seqs [][]int
+	for i := 0; i < n; i++ {
+		base := 0
+		if i%2 == 1 {
+			base = 4
+		}
+		seq := make([]int, 12)
+		for j := range seq {
+			seq[j] = base + rng.Intn(4)
+		}
+		seqs = append(seqs, seq)
+	}
+	return seqs
+}
+
+func TestTrainSeparatesClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	seqs := clusteredCorpus(rng, 400)
+	cfg := DefaultConfig(16)
+	cfg.Epochs = 5
+	m := Train(seqs, 8, cfg)
+
+	within, cross := 0.0, 0.0
+	nw, nc := 0, 0
+	for a := 0; a < 8; a++ {
+		for b := a + 1; b < 8; b++ {
+			s := m.Cosine(a, b)
+			if (a < 4) == (b < 4) {
+				within += s
+				nw++
+			} else {
+				cross += s
+				nc++
+			}
+		}
+	}
+	within /= float64(nw)
+	cross /= float64(nc)
+	if within <= cross+0.2 {
+		t.Fatalf("within-cluster similarity %v not clearly above cross-cluster %v", within, cross)
+	}
+}
+
+func TestMostSimilarStaysInCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	seqs := clusteredCorpus(rng, 400)
+	cfg := DefaultConfig(16)
+	cfg.Epochs = 5
+	m := Train(seqs, 8, cfg)
+	top := m.MostSimilar(0, 3)
+	if len(top) != 3 {
+		t.Fatalf("MostSimilar returned %d", len(top))
+	}
+	for _, tok := range top {
+		if tok >= 4 {
+			t.Fatalf("token %d from the wrong cluster among top neighbours %v", tok, top)
+		}
+		if tok == 0 {
+			t.Fatal("MostSimilar must exclude the query token")
+		}
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	seqs := clusteredCorpus(rng, 50)
+	cfg := DefaultConfig(8)
+	a := Train(seqs, 8, cfg)
+	b := Train(seqs, 8, cfg)
+	if !a.In.Equals(b.In, 0) {
+		t.Fatal("same seed must reproduce identical embeddings")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	cases := map[string]func(){
+		"vocab":  func() { Train(nil, 0, DefaultConfig(4)) },
+		"dim":    func() { c := DefaultConfig(0); Train(nil, 3, c) },
+		"window": func() { c := DefaultConfig(4); c.WindowLeft, c.WindowRight = 0, 0; Train(nil, 3, c) },
+		"epochs": func() { c := DefaultConfig(4); c.Epochs = 0; Train(nil, 3, c) },
+		"token":  func() { Train([][]int{{5}}, 3, DefaultConfig(4)) },
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCosineSelfIsOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	m := Train(clusteredCorpus(rng, 30), 8, DefaultConfig(8))
+	if got := m.Cosine(2, 2); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("self-cosine %v", got)
+	}
+}
+
+func TestCosineBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	m := Train(clusteredCorpus(rng, 30), 8, DefaultConfig(8))
+	for a := 0; a < 8; a++ {
+		for b := 0; b < 8; b++ {
+			if s := m.Cosine(a, b); s < -1-1e-9 || s > 1+1e-9 {
+				t.Fatalf("cosine(%d,%d)=%v out of [-1,1]", a, b, s)
+			}
+		}
+	}
+}
+
+func TestVectorAliasAndRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	m := Train(clusteredCorpus(rng, 10), 8, DefaultConfig(4))
+	v := m.Vector(3)
+	if len(v) != 4 {
+		t.Fatalf("dim %d", len(v))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range token")
+		}
+	}()
+	m.Vector(8)
+}
+
+func TestEmptyCorpusStillTrains(t *testing.T) {
+	m := Train(nil, 5, DefaultConfig(4))
+	if m.Vocab != 5 || m.Dim != 4 {
+		t.Fatalf("model shape vocab=%d dim=%d", m.Vocab, m.Dim)
+	}
+}
+
+func TestUnigramTableCoversVocab(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	table := buildUnigramTable([][]int{{0, 0, 0, 1}}, 4, rng)
+	seen := make(map[int]bool)
+	for _, tok := range table {
+		seen[tok] = true
+	}
+	for tok := 0; tok < 4; tok++ {
+		if !seen[tok] {
+			t.Fatalf("token %d missing from sampling table", tok)
+		}
+	}
+}
+
+func TestFrequentTokenDominatesTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	seq := make([]int, 1000)
+	for i := range seq {
+		if i%10 == 0 {
+			seq[i] = 1
+		}
+	}
+	table := buildUnigramTable([][]int{seq}, 2, rng)
+	c0 := 0
+	for _, tok := range table {
+		if tok == 0 {
+			c0++
+		}
+	}
+	if c0 <= len(table)/2 {
+		t.Fatalf("frequent token holds %d/%d slots, want majority", c0, len(table))
+	}
+}

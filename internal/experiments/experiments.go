@@ -1,0 +1,171 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4) on synthetic machine logs: the prediction-quality
+// metrics per system (Figures 4 and 5), lead-time analyses (Table 7,
+// Figures 6, 7 and 8), unknown-phrase analysis (Tables 8 and 9,
+// Figure 9), inference cost (Figure 10) and the DeepLog comparison
+// (Tables 10 and 11). Each experiment returns both structured data and
+// a formatted text block matching the paper's presentation.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"desh/internal/catalog"
+	"desh/internal/core"
+	"desh/internal/logparse"
+	"desh/internal/logsim"
+	"desh/internal/metrics"
+)
+
+// Scale sizes the generated dataset per machine. The paper's Table-1
+// datasets are months of production logs; these defaults are a
+// laptop-scale slice with the same event-sequence structure.
+type Scale struct {
+	Nodes    int
+	Hours    float64
+	Failures int
+	Seed     int64
+}
+
+// DefaultScale is used by cmd/deshexp and the benchmark harness.
+func DefaultScale() Scale {
+	return Scale{Nodes: 160, Hours: 336, Failures: 260, Seed: 31}
+}
+
+// QuickScale keeps unit tests fast.
+func QuickScale() Scale {
+	return Scale{Nodes: 90, Hours: 168, Failures: 130, Seed: 31}
+}
+
+// DefaultPipelineConfig is the Table-5 configuration used by all
+// experiments.
+func DefaultPipelineConfig() core.Config {
+	return core.DefaultConfig()
+}
+
+// SystemResult is one machine's full three-phase evaluation.
+type SystemResult struct {
+	Machine  string
+	Profile  logsim.Profile
+	Run      *logsim.Run
+	Train    *core.TrainReport
+	Pipeline *core.Pipeline
+	Verdicts []core.Verdict
+	Conf     metrics.Confusion
+	Leads    []float64 // true-positive predicted lead times, seconds
+	// TestEvents is the parsed 70% test split (reused by baselines).
+	TestEvents  []logparse.Event
+	TrainEvents []logparse.Event
+}
+
+// LeadsByClass groups the true-positive lead times by inferred failure
+// class (core.ClassOf).
+func (r *SystemResult) LeadsByClass() map[catalog.Class][]float64 {
+	out := map[catalog.Class][]float64{}
+	for _, v := range r.Verdicts {
+		if v.Flagged && v.Chain.Terminal {
+			cl := core.ClassOf(v.Chain)
+			out[cl] = append(out[cl], v.LeadSeconds)
+		}
+	}
+	return out
+}
+
+// ParseRun renders and re-parses a generated run — the honest pipeline
+// path (the predictor sees only raw text, never generator internals).
+func ParseRun(run *logsim.Run) ([]logparse.Event, error) {
+	events := make([]logparse.Event, 0, len(run.Events))
+	for _, ge := range run.Events {
+		ev, err := logparse.ParseLine(ge.Line())
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}
+
+// RunSystem generates one machine's logs, trains on the 30% time-prefix
+// and evaluates Phase 3 on the remaining 70%.
+func RunSystem(profile logsim.Profile, scale Scale, cfg core.Config) (*SystemResult, error) {
+	run, err := logsim.Generate(logsim.Config{
+		Profile:  profile,
+		Nodes:    scale.Nodes,
+		Hours:    scale.Hours,
+		Failures: scale.Failures,
+		Seed:     scale.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	events, err := ParseRun(run)
+	if err != nil {
+		return nil, err
+	}
+	trainEvents, testEvents := core.SplitEvents(events, 0.3)
+	p, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	report, err := p.Train(trainEvents)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: training %s: %w", profile.Name, err)
+	}
+	verdicts, err := p.Predict(testEvents)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: predicting %s: %w", profile.Name, err)
+	}
+	conf, leads := core.Score(verdicts)
+	return &SystemResult{
+		Machine:     profile.Name,
+		Profile:     profile,
+		Run:         run,
+		Train:       report,
+		Pipeline:    p,
+		Verdicts:    verdicts,
+		Conf:        conf,
+		Leads:       leads,
+		TestEvents:  testEvents,
+		TrainEvents: trainEvents,
+	}, nil
+}
+
+// RunAllSystems evaluates the four machines M1..M4. Per-machine seeds
+// are derived from scale.Seed so systems see distinct data.
+func RunAllSystems(scale Scale, cfg core.Config) ([]*SystemResult, error) {
+	var results []*SystemResult
+	for i, profile := range logsim.Profiles() {
+		s := scale
+		s.Seed = scale.Seed + int64(i)*101
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		r, err := RunSystem(profile, s, c)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// sortedClasses returns the Table-7 class order.
+func sortedClasses() []catalog.Class { return catalog.Classes }
+
+// fmtPct renders a ratio as a percentage with two decimals.
+func fmtPct(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }
+
+// sortedKeysByValue returns map keys ordered by descending value.
+func sortedKeysByValue(m map[int]int) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if m[keys[i]] != m[keys[j]] {
+			return m[keys[i]] > m[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}

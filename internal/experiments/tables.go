@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"desh/internal/catalog"
+	"desh/internal/chain"
+	"desh/internal/core"
+	"desh/internal/label"
+	"desh/internal/logparse"
+	"desh/internal/logsim"
+)
+
+// Table1 renders the paper's Table 1 (log details of the four systems)
+// from the machine profiles, annotated with the synthetic scale used.
+func Table1(scale Scale) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Log Details (paper scale -> simulated slice)\n")
+	fmt.Fprintf(&b, "%-4s %-10s %-7s %-11s %-15s %s\n", "Sys", "Duration", "Size", "Scale", "Type", "Simulated")
+	for _, p := range logsim.Profiles() {
+		fmt.Fprintf(&b, "%-4s %-10s %-7s %-11s %-15s %d nodes x %.0fh, %d failures\n",
+			p.Name, p.Duration, p.Size, fmt.Sprintf("%d nodes", p.Nodes), p.System,
+			scale.Nodes, scale.Hours, scale.Failures)
+	}
+	return b.String()
+}
+
+// Table2 demonstrates the static/dynamic phrase split (paper Table 2)
+// on freshly rendered raw log lines.
+func Table2(seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	run, err := logsim.Generate(logsim.Config{
+		Profile: logsim.Profiles()[0], Nodes: 8, Hours: 2, Failures: 2, Seed: rng.Int63(),
+	})
+	if err != nil {
+		return "table2: " + err.Error()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: Phrase Vectors (timestamp, node, raw message -> static phrase)\n")
+	shown := 0
+	for _, ev := range run.Events {
+		if shown >= 6 {
+			break
+		}
+		parsed, err := logparse.ParseLine(ev.Line())
+		if err != nil {
+			continue
+		}
+		if parsed.Key == parsed.Message {
+			continue // show only lines with a dynamic component
+		}
+		fmt.Fprintf(&b, "%s %s\n  raw:    %s\n  static: %s\n",
+			parsed.Time.Format("15:04:05.000000"), parsed.Node, parsed.Message, parsed.Key)
+		shown++
+	}
+	return b.String()
+}
+
+// Table3 renders the phrase labeling examples (paper Table 3) from the
+// catalog dictionary.
+func Table3() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: Phrase Labeling\n")
+	for _, lab := range []catalog.Label{catalog.Safe, catalog.Unknown, catalog.Error} {
+		keys := catalog.Keys(func(p catalog.Phrase) bool { return p.Label == lab })
+		fmt.Fprintf(&b, "%s (%d phrases):\n", lab, len(keys))
+		for i, k := range keys {
+			if i >= 5 {
+				fmt.Fprintf(&b, "  ...\n")
+				break
+			}
+			fmt.Fprintf(&b, "  %s\n", k)
+		}
+	}
+	return b.String()
+}
+
+// Table4 extracts one MCE failure chain from generated data and prints
+// its cumulative ΔT phrase vectors (paper Table 4).
+func Table4(scale Scale) (string, error) {
+	run, err := logsim.Generate(logsim.Config{
+		Profile: logsim.Profiles()[0], Nodes: scale.Nodes, Hours: scale.Hours,
+		Failures: scale.Failures, Seed: scale.Seed,
+	})
+	if err != nil {
+		return "", err
+	}
+	events, err := ParseRun(run)
+	if err != nil {
+		return "", err
+	}
+	var enc logparse.Encoder
+	byNode := logparse.ByNode(logparse.EncodeEvents(&enc, events))
+	failures, _, err := chain.ExtractAll(byNode, label.New(), chain.DefaultConfig())
+	if err != nil {
+		return "", err
+	}
+	var pick *chain.Chain
+	for i := range failures {
+		if core.ClassOf(failures[i]) == catalog.ClassMCE {
+			pick = &failures[i]
+			break
+		}
+	}
+	if pick == nil && len(failures) > 0 {
+		pick = &failures[0]
+	}
+	if pick == nil {
+		return "", fmt.Errorf("experiments: no failure chains found")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4: Example Failure Chain (node %s, class %s)\n", pick.Node, core.ClassOf(*pick))
+	for i, e := range pick.Entries {
+		fmt.Fprintf(&b, "P%d %s  %-55s  dT=%07.3fs, P%d\n",
+			i+1, e.Time.Format("15:04:05.000"), truncate(e.Key, 55), e.DeltaT, e.ID)
+	}
+	return b.String(), nil
+}
+
+// Table5 renders the LSTM parameter specification (paper Table 5) from
+// the pipeline configuration.
+func Table5(cfg core.Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 5: LSTM Parameter Specifications\n")
+	fmt.Fprintf(&b, "%-8s %-22s %-4s %-6s %-4s %s\n", "Phase", "Input Vector", "#HL", "Steps", "#HS", "Loss, Optimizer")
+	fmt.Fprintf(&b, "%-8s %-22s %-4d %-6d %-4d %s\n", "Phase-1", "(P1, P2, ..., PN)", cfg.Layers1, cfg.Steps1, cfg.History1, "categorical crossentropy, SGD")
+	fmt.Fprintf(&b, "%-8s %-22s %-4d %-6d %-4d %s\n", "Phase-2", "(dT1, P1), (dT2, P2)..", cfg.Layers2, 1, cfg.History2, "MSE, RMSprop")
+	fmt.Fprintf(&b, "%-8s %-22s %-4d %-6d %-4d %s\n", "Phase-3", "(dT4, P4), (dT5, P5)..", cfg.Layers2, 1, cfg.History2, "MSE, RMSprop")
+	return b.String()
+}
+
+// Table8Figure9 computes the unknown-phrase contribution analysis
+// (paper Table 8 and Figure 9): for each Unknown phrase, the percentage
+// of its appearances that were inside failure chains.
+func Table8Figure9(result *SystemResult) string {
+	var enc logparse.Encoder
+	byNode := logparse.ByNode(logparse.EncodeEvents(&enc, append(append([]logparse.Event{}, result.TrainEvents...), result.TestEvents...)))
+	failures, candidates, err := chain.ExtractAll(byNode, label.New(), chain.DefaultConfig())
+	if err != nil {
+		return "table8: " + err.Error()
+	}
+	stats := chain.CollectPhraseStats(failures, candidates)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 8 / Figure 9: Unknown Tagged Phrases, contribution to node failures (%s)\n", result.Machine)
+	fmt.Fprintf(&b, "%-58s %8s %8s %8s\n", "Phrase", "inFail", "inCand", "contrib")
+	for _, id := range sortedKeysByValue(stats.InFailures) {
+		key := enc.Key(id)
+		p, ok := catalog.Lookup(key)
+		if !ok || p.Label != catalog.Unknown {
+			continue
+		}
+		fmt.Fprintf(&b, "%-58s %8d %8d %7.1f%%\n",
+			truncate(key, 58), stats.InFailures[id], stats.InCandidate[id], 100*stats.Contribution(id))
+	}
+	return b.String()
+}
+
+// Table9 prints sample anomalous sequences with and without node
+// failures (paper Table 9) from the generated ground truth.
+func Table9(result *SystemResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 9: Unknown Phrases with and without Node Failures (%s)\n", result.Machine)
+	failShown, maskShown := 0, 0
+	byChain := map[int][]string{}
+	for _, ev := range result.Run.Events {
+		if ev.ChainID > 0 {
+			byChain[ev.ChainID] = append(byChain[ev.ChainID], ev.Key)
+		}
+	}
+	for _, f := range result.Run.Failures {
+		if failShown >= 2 {
+			break
+		}
+		failShown++
+		fmt.Fprintf(&b, "Failure %d (%s, %s):\n", failShown, f.Node, f.Class)
+		for _, k := range byChain[f.ChainID] {
+			fmt.Fprintf(&b, "  %s\n", truncate(k, 70))
+		}
+	}
+	for _, m := range result.Run.Masked {
+		if maskShown >= 2 {
+			break
+		}
+		maskShown++
+		fmt.Fprintf(&b, "Not Failure %d (%s, hard=%v):\n", maskShown, m.Node, m.Hard)
+		for _, k := range byChain[m.ChainID] {
+			fmt.Fprintf(&b, "  %s\n", truncate(k, 70))
+		}
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

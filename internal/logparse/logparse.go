@@ -1,0 +1,155 @@
+// Package logparse turns raw log lines back into structured events and
+// encodes their static phrases as integer ids — the paper's §3.1
+// pipeline stage: separate timestamp/node/phrase, split each phrase into
+// static and dynamic content, discard the dynamic part, and encode the
+// constant message to a uniquely identifiable number.
+package logparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"desh/internal/catalog"
+)
+
+// TimeLayout is the timestamp format of generated Cray-style lines.
+const TimeLayout = "2006-01-02T15:04:05.000000"
+
+// Event is a parsed log record.
+type Event struct {
+	Time    time.Time
+	Node    string
+	Message string // raw message text (static + dynamic)
+	Key     string // masked static phrase
+}
+
+// ParseLine splits one raw line into timestamp, node id and message and
+// masks the message into its static phrase key.
+func ParseLine(line string) (Event, error) {
+	line = strings.TrimRight(line, "\r\n")
+	tsStr, rest, ok := strings.Cut(line, " ")
+	if !ok {
+		return Event{}, fmt.Errorf("logparse: malformed line %q", line)
+	}
+	node, msg, ok := strings.Cut(rest, " ")
+	if !ok {
+		return Event{}, fmt.Errorf("logparse: line %q missing message", line)
+	}
+	ts, err := time.Parse(TimeLayout, tsStr)
+	if err != nil {
+		return Event{}, fmt.Errorf("logparse: bad timestamp in %q: %w", line, err)
+	}
+	if !strings.HasPrefix(node, "c") {
+		return Event{}, fmt.Errorf("logparse: bad node id %q", node)
+	}
+	return Event{Time: ts, Node: node, Message: msg, Key: catalog.Mask(msg)}, nil
+}
+
+// ParseReader parses every line from r, skipping blank lines. It stops
+// at the first malformed line and returns the events parsed so far
+// together with the error.
+func ParseReader(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var events []Event
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		ev, err := ParseLine(line)
+		if err != nil {
+			return events, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return events, fmt.Errorf("logparse: read: %w", err)
+	}
+	return events, nil
+}
+
+// Encoder assigns dense integer ids to static phrase keys in order of
+// first appearance, the paper's "encoded to a uniquely identifiable
+// number" step. The zero value is ready to use.
+type Encoder struct {
+	ids  map[string]int
+	keys []string
+}
+
+// Encode returns the id for key, assigning the next free id on first
+// sight.
+func (e *Encoder) Encode(key string) int {
+	if e.ids == nil {
+		e.ids = make(map[string]int)
+	}
+	if id, ok := e.ids[key]; ok {
+		return id
+	}
+	id := len(e.keys)
+	e.ids[key] = id
+	e.keys = append(e.keys, key)
+	return id
+}
+
+// Lookup returns the id for key without assigning new ids.
+func (e *Encoder) Lookup(key string) (int, bool) {
+	id, ok := e.ids[key]
+	return id, ok
+}
+
+// Key returns the phrase for an id; it panics for unassigned ids.
+func (e *Encoder) Key(id int) string {
+	if id < 0 || id >= len(e.keys) {
+		panic(fmt.Sprintf("logparse: id %d not assigned (have %d)", id, len(e.keys)))
+	}
+	return e.keys[id]
+}
+
+// Len returns the number of distinct phrases seen.
+func (e *Encoder) Len() int { return len(e.keys) }
+
+// Keys returns the phrase keys in id order (a copy).
+func (e *Encoder) Keys() []string {
+	return append([]string(nil), e.keys...)
+}
+
+// NewEncoderFromKeys rebuilds an encoder whose ids follow the given key
+// order — the persistence path for trained pipelines.
+func NewEncoderFromKeys(keys []string) *Encoder {
+	e := &Encoder{}
+	for _, k := range keys {
+		e.Encode(k)
+	}
+	return e
+}
+
+// EncodedEvent pairs a parsed event with its phrase id.
+type EncodedEvent struct {
+	Event
+	ID int
+}
+
+// EncodeEvents runs every event's key through the encoder.
+func EncodeEvents(enc *Encoder, events []Event) []EncodedEvent {
+	out := make([]EncodedEvent, len(events))
+	for i, ev := range events {
+		out[i] = EncodedEvent{Event: ev, ID: enc.Encode(ev.Key)}
+	}
+	return out
+}
+
+// ByNode groups encoded events by node id, preserving time order within
+// each node (the per-node separation of §3.1).
+func ByNode(events []EncodedEvent) map[string][]EncodedEvent {
+	m := make(map[string][]EncodedEvent)
+	for _, ev := range events {
+		m[ev.Node] = append(m[ev.Node], ev)
+	}
+	return m
+}

@@ -1,0 +1,94 @@
+// Package logsim generates synthetic Cray-style system logs that stand
+// in for the paper's four proprietary machine datasets (Table 1). The
+// generator reproduces the structure Desh learns from: per-node event
+// streams where class-specific failure chains (Table 7) of Unknown and
+// Error phrases build up to a terminal message, interleaved with benign
+// noise, stray anomalies, and masked-fault sequences that look like
+// chains but never terminate (§4.3, Table 9).
+package logsim
+
+import "desh/internal/catalog"
+
+// Profile describes one of the paper's machines. Scale/duration/size
+// fields document the Table-1 row; the behavioural knobs shape the
+// generated event streams.
+type Profile struct {
+	Name     string // M1..M4
+	System   string // Cray model, Table 1 "Type"
+	Nodes    int    // production scale (Table 1)
+	Duration string // Table 1 duration label
+	Size     string // Table 1 size label
+
+	// ClassMix weights node-failure classes; weights are normalized.
+	ClassMix map[catalog.Class]float64
+	// MaskedPerFailure is the ratio of masked-fault (anomaly without
+	// failure) sequences to failure chains — the main FP-rate driver.
+	MaskedPerFailure float64
+	// HardMaskedFrac is the fraction of masked sequences that are
+	// near-complete chain prefixes (hard negatives).
+	HardMaskedFrac float64
+	// NovelChainFrac is the fraction of failure chains generated from a
+	// mutated template — "new patterns or unknown failures are rare"
+	// (§4.1) — the principal source of false negatives.
+	NovelChainFrac float64
+	// NoisePerNodeHour is the mean rate of benign Safe motif occurrences (each motif emits several ordered events).
+	NoisePerNodeHour float64
+	// StrayPerNodeHour is the mean rate of isolated Unknown events.
+	StrayPerNodeHour float64
+}
+
+// Profiles returns the four machine profiles in M1..M4 order. Class
+// mixes follow the paper's characterization: M2 sees more Hardware and
+// FileSystem failures and fewer kernel panics (hence its longer average
+// lead times, Figure 7); M1 carries the most masked-fault traffic
+// (its higher false-positive rate, Figure 5).
+func Profiles() []Profile {
+	return []Profile{
+		{
+			Name: "M1", System: "Cray XC30", Nodes: 5600, Duration: "10 months", Size: "373GB",
+			ClassMix: map[catalog.Class]float64{
+				catalog.ClassJob: 0.08, catalog.ClassMCE: 0.22, catalog.ClassFS: 0.20,
+				catalog.ClassTraps: 0.15, catalog.ClassHardware: 0.15, catalog.ClassPanic: 0.20,
+			},
+			MaskedPerFailure: 0.30, HardMaskedFrac: 0.26, NovelChainFrac: 0.115,
+			NoisePerNodeHour: 0.5, StrayPerNodeHour: 0.25,
+		},
+		{
+			Name: "M2", System: "Cray XE6", Nodes: 6400, Duration: "12 months", Size: "150GB",
+			ClassMix: map[catalog.Class]float64{
+				catalog.ClassJob: 0.06, catalog.ClassMCE: 0.24, catalog.ClassFS: 0.26,
+				catalog.ClassTraps: 0.10, catalog.ClassHardware: 0.26, catalog.ClassPanic: 0.08,
+			},
+			MaskedPerFailure: 0.70, HardMaskedFrac: 0.25, NovelChainFrac: 0.085,
+			NoisePerNodeHour: 0.4, StrayPerNodeHour: 0.20,
+		},
+		{
+			Name: "M3", System: "Cray XC40", Nodes: 2100, Duration: "8 months", Size: "39GB",
+			ClassMix: map[catalog.Class]float64{
+				catalog.ClassJob: 0.10, catalog.ClassMCE: 0.20, catalog.ClassFS: 0.18,
+				catalog.ClassTraps: 0.16, catalog.ClassHardware: 0.18, catalog.ClassPanic: 0.18,
+			},
+			MaskedPerFailure: 0.46, HardMaskedFrac: 0.24, NovelChainFrac: 0.10,
+			NoisePerNodeHour: 0.35, StrayPerNodeHour: 0.18,
+		},
+		{
+			Name: "M4", System: "Cray XC40/XC30", Nodes: 1872, Duration: "10 months", Size: "22GB",
+			ClassMix: map[catalog.Class]float64{
+				catalog.ClassJob: 0.12, catalog.ClassMCE: 0.18, catalog.ClassFS: 0.16,
+				catalog.ClassTraps: 0.18, catalog.ClassHardware: 0.14, catalog.ClassPanic: 0.22,
+			},
+			MaskedPerFailure: 0.85, HardMaskedFrac: 0.30, NovelChainFrac: 0.13,
+			NoisePerNodeHour: 0.3, StrayPerNodeHour: 0.22,
+		},
+	}
+}
+
+// ProfileByName returns the named profile, or false.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

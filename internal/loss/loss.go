@@ -1,0 +1,93 @@
+// Package loss implements the objective functions Desh uses per phase
+// (Table 5 of the paper): categorical cross-entropy over a softmax for
+// the Phase-1 multi-class next-phrase problem, and mean squared error
+// for the Phase-2/3 (ΔT, phrase-id) regression problem.
+package loss
+
+import (
+	"fmt"
+	"math"
+)
+
+// Softmax writes the softmax of logits into dst (may alias logits). It
+// uses the max-subtraction trick for numerical stability.
+func Softmax(dst, logits []float64) {
+	if len(dst) != len(logits) {
+		panic(fmt.Sprintf("loss: Softmax dst length %d, want %d", len(dst), len(logits)))
+	}
+	if len(logits) == 0 {
+		return
+	}
+	max := logits[0]
+	for _, v := range logits[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for i, v := range logits {
+		e := math.Exp(v - max)
+		dst[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range dst {
+		dst[i] *= inv
+	}
+}
+
+// CrossEntropy returns -log p[target] for a probability vector p. Probabilities
+// are floored at 1e-12 to avoid infinities from underflow.
+func CrossEntropy(p []float64, target int) float64 {
+	if target < 0 || target >= len(p) {
+		panic(fmt.Sprintf("loss: CrossEntropy target %d out of range %d", target, len(p)))
+	}
+	q := p[target]
+	if q < 1e-12 {
+		q = 1e-12
+	}
+	return -math.Log(q)
+}
+
+// SoftmaxCrossEntropyGrad writes into dGrad the gradient of the
+// cross-entropy loss with respect to the *logits* (pre-softmax), given
+// the already-computed softmax probabilities: grad = p - onehot(target).
+func SoftmaxCrossEntropyGrad(dGrad, probs []float64, target int) {
+	if len(dGrad) != len(probs) {
+		panic(fmt.Sprintf("loss: grad length %d, want %d", len(dGrad), len(probs)))
+	}
+	if target < 0 || target >= len(probs) {
+		panic(fmt.Sprintf("loss: target %d out of range %d", target, len(probs)))
+	}
+	copy(dGrad, probs)
+	dGrad[target] -= 1
+}
+
+// MSE returns the mean squared error between pred and want.
+func MSE(pred, want []float64) float64 {
+	if len(pred) != len(want) {
+		panic(fmt.Sprintf("loss: MSE length mismatch %d vs %d", len(pred), len(want)))
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i, p := range pred {
+		d := p - want[i]
+		s += d * d
+	}
+	return s / float64(len(pred))
+}
+
+// MSEGrad writes into dGrad the gradient of MSE w.r.t. pred:
+// 2*(pred-want)/n.
+func MSEGrad(dGrad, pred, want []float64) {
+	n := len(pred)
+	if len(want) != n || len(dGrad) != n {
+		panic(fmt.Sprintf("loss: MSEGrad length mismatch %d/%d/%d", len(dGrad), n, len(want)))
+	}
+	inv := 2 / float64(n)
+	for i := range dGrad {
+		dGrad[i] = inv * (pred[i] - want[i])
+	}
+}

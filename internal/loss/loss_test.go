@@ -1,0 +1,215 @@
+package loss
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	logits := []float64{1, 2, 3, 4}
+	p := make([]float64, 4)
+	Softmax(p, logits)
+	sum := 0.0
+	for _, v := range p {
+		if v <= 0 || v >= 1 {
+			t.Fatalf("probability out of (0,1): %v", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("sum=%v", sum)
+	}
+}
+
+func TestSoftmaxMonotone(t *testing.T) {
+	p := make([]float64, 3)
+	Softmax(p, []float64{0, 1, 2})
+	if !(p[0] < p[1] && p[1] < p[2]) {
+		t.Fatalf("softmax must preserve order: %v", p)
+	}
+}
+
+func TestSoftmaxShiftInvariance(t *testing.T) {
+	a := make([]float64, 3)
+	b := make([]float64, 3)
+	Softmax(a, []float64{1, 2, 3})
+	Softmax(b, []float64{101, 102, 103})
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatalf("softmax must be shift invariant: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestSoftmaxLargeLogitsStable(t *testing.T) {
+	p := make([]float64, 2)
+	Softmax(p, []float64{1000, 999})
+	if math.IsNaN(p[0]) || math.IsInf(p[0], 0) {
+		t.Fatalf("unstable softmax: %v", p)
+	}
+	if math.Abs(p[0]+p[1]-1) > 1e-12 {
+		t.Fatalf("sum=%v", p[0]+p[1])
+	}
+}
+
+func TestSoftmaxInPlace(t *testing.T) {
+	x := []float64{1, 1, 1}
+	Softmax(x, x)
+	for _, v := range x {
+		if math.Abs(v-1.0/3) > 1e-12 {
+			t.Fatalf("in-place uniform softmax: %v", x)
+		}
+	}
+}
+
+func TestSoftmaxEmpty(t *testing.T) {
+	Softmax(nil, nil) // must not panic
+}
+
+func TestSoftmaxLenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Softmax(make([]float64, 2), make([]float64, 3))
+}
+
+func TestCrossEntropy(t *testing.T) {
+	p := []float64{0.25, 0.5, 0.25}
+	if got := CrossEntropy(p, 1); math.Abs(got-math.Log(2)) > 1e-12 {
+		t.Fatalf("CE=%v want %v", got, math.Log(2))
+	}
+}
+
+func TestCrossEntropyUnderflow(t *testing.T) {
+	got := CrossEntropy([]float64{0, 1}, 0)
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("CE must be floored, got %v", got)
+	}
+}
+
+func TestCrossEntropyTargetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CrossEntropy([]float64{1}, 3)
+}
+
+func TestSoftmaxCrossEntropyGrad(t *testing.T) {
+	probs := []float64{0.2, 0.3, 0.5}
+	g := make([]float64, 3)
+	SoftmaxCrossEntropyGrad(g, probs, 2)
+	want := []float64{0.2, 0.3, -0.5}
+	for i := range want {
+		if math.Abs(g[i]-want[i]) > 1e-12 {
+			t.Fatalf("grad %v want %v", g, want)
+		}
+	}
+	// Gradient over the simplex sums to zero.
+	if s := g[0] + g[1] + g[2]; math.Abs(s) > 1e-12 {
+		t.Fatalf("grad sum %v", s)
+	}
+}
+
+// Property: the analytic softmax+CE gradient matches numerical
+// differentiation of the composed function w.r.t. each logit.
+func TestSoftmaxCrossEntropyGradNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const eps = 1e-6
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(6)
+		logits := make([]float64, n)
+		for i := range logits {
+			logits[i] = rng.NormFloat64() * 2
+		}
+		target := rng.Intn(n)
+		probs := make([]float64, n)
+		Softmax(probs, logits)
+		grad := make([]float64, n)
+		SoftmaxCrossEntropyGrad(grad, probs, target)
+		for i := 0; i < n; i++ {
+			lp := append([]float64(nil), logits...)
+			lm := append([]float64(nil), logits...)
+			lp[i] += eps
+			lm[i] -= eps
+			pp := make([]float64, n)
+			pm := make([]float64, n)
+			Softmax(pp, lp)
+			Softmax(pm, lm)
+			num := (CrossEntropy(pp, target) - CrossEntropy(pm, target)) / (2 * eps)
+			if math.Abs(num-grad[i]) > 1e-5 {
+				t.Fatalf("trial %d logit %d: analytic %v numeric %v", trial, i, grad[i], num)
+			}
+		}
+	}
+}
+
+func TestMSE(t *testing.T) {
+	if got := MSE([]float64{1, 2}, []float64{3, 2}); got != 2 {
+		t.Fatalf("MSE=%v", got)
+	}
+	if MSE(nil, nil) != 0 {
+		t.Fatal("empty MSE must be 0")
+	}
+}
+
+func TestMSELengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MSE([]float64{1}, []float64{1, 2})
+}
+
+func TestMSEGradNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	const eps = 1e-6
+	pred := make([]float64, 5)
+	want := make([]float64, 5)
+	for i := range pred {
+		pred[i] = rng.NormFloat64()
+		want[i] = rng.NormFloat64()
+	}
+	grad := make([]float64, 5)
+	MSEGrad(grad, pred, want)
+	for i := range pred {
+		pp := append([]float64(nil), pred...)
+		pm := append([]float64(nil), pred...)
+		pp[i] += eps
+		pm[i] -= eps
+		num := (MSE(pp, want) - MSE(pm, want)) / (2 * eps)
+		if math.Abs(num-grad[i]) > 1e-6 {
+			t.Fatalf("index %d: analytic %v numeric %v", i, grad[i], num)
+		}
+	}
+}
+
+// Property: MSE is non-negative and zero iff pred == want.
+func TestMSENonNegativeProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		a, b = a[:n], b[:n]
+		for _, v := range append(append([]float64(nil), a...), b...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		m := MSE(a, b)
+		if m < 0 {
+			return false
+		}
+		return MSE(a, a) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+package ngram
+
+import "testing"
+
+func TestNewPanicsOnBadOrder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0)
+}
+
+func TestPredictDeterministicSequence(t *testing.T) {
+	m := New(3)
+	m.Train([][]int{{1, 2, 3, 1, 2, 3, 1, 2, 3}})
+	if got := m.Predict([]int{1, 2}); got != 3 {
+		t.Fatalf("Predict(1,2)=%d", got)
+	}
+	if got := m.Predict([]int{2, 3}); got != 1 {
+		t.Fatalf("Predict(2,3)=%d", got)
+	}
+}
+
+func TestPredictBackoff(t *testing.T) {
+	m := New(3)
+	m.Train([][]int{{5, 5, 5, 5, 7}})
+	// Unseen bigram context backs off to the unigram mode (5).
+	if got := m.Predict([]int{9, 9}); got != 5 {
+		t.Fatalf("backoff Predict=%d", got)
+	}
+}
+
+func TestPredictUntrained(t *testing.T) {
+	if got := New(2).Predict([]int{1}); got != -1 {
+		t.Fatalf("untrained Predict=%d", got)
+	}
+}
+
+func TestAccuracyPerfectOnDeterministic(t *testing.T) {
+	m := New(2)
+	seq := []int{0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2}
+	m.Train([][]int{seq})
+	if acc := m.Accuracy([][]int{seq}); acc < 0.99 {
+		t.Fatalf("accuracy %v on deterministic cycle", acc)
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	if New(2).Accuracy(nil) != 0 {
+		t.Fatal("empty accuracy must be 0")
+	}
+}
+
+// The background section's point: n-grams cannot use history beyond
+// their order. A pattern whose disambiguating token lies n tokens back
+// defeats the model.
+func TestNgramLimitedHistory(t *testing.T) {
+	m := New(2) // bigram: only 1 token of context
+	// Two interleaved patterns: 1,9,2 and 3,9,4 — after seeing 9 the
+	// bigram model cannot know whether 2 or 4 follows.
+	seqs := [][]int{{1, 9, 2}, {3, 9, 4}, {1, 9, 2}, {3, 9, 4}, {1, 9, 2}}
+	m.Train(seqs)
+	acc := m.Accuracy([][]int{{3, 9, 4}})
+	// Position 9->? is ambiguous for a bigram: it sees 2 more often.
+	if acc > 0.75 {
+		t.Fatalf("bigram accuracy %v suspiciously high on long-range pattern", acc)
+	}
+	long := New(3)
+	long.Train(seqs)
+	if lacc := long.Accuracy([][]int{{3, 9, 4}}); lacc <= acc {
+		t.Fatalf("trigram accuracy %v should beat bigram %v", lacc, acc)
+	}
+}

@@ -1,0 +1,158 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"desh/internal/loss"
+	"desh/internal/tensor"
+)
+
+// SeqClassifier is the Phase-1 model: encoded phrases are embedded,
+// pushed through a stacked LSTM and projected onto vocabulary logits to
+// predict upcoming phrases (Table 5, row Phase-1: SGD + categorical
+// cross-entropy, 2 hidden layers, 3-step prediction, history size 8).
+//
+// The same model class doubles as the DeepLog baseline, which flags an
+// anomaly when the observed phrase is outside the top-g predictions.
+type SeqClassifier struct {
+	Vocab, EmbDim int
+	Embed         *Param // [vocab x embDim] phrase embedding table
+	Stack         *LSTMStack
+	Out           *Dense
+	// TrainEmbed controls whether embedding rows receive gradient
+	// updates. Desh pre-trains embeddings with skip-gram and fine-tunes
+	// them; set false to freeze pre-trained vectors.
+	TrainEmbed bool
+}
+
+// NewSeqClassifier builds the Phase-1 architecture. The embedding table
+// starts as small Gaussian noise and is typically overwritten by
+// SetEmbeddings with skip-gram vectors.
+func NewSeqClassifier(vocab, embDim, hidden, layers int, rng *rand.Rand) *SeqClassifier {
+	if vocab <= 0 || embDim <= 0 {
+		panic(fmt.Sprintf("nn: invalid classifier sizes vocab=%d emb=%d", vocab, embDim))
+	}
+	m := &SeqClassifier{
+		Vocab:      vocab,
+		EmbDim:     embDim,
+		Embed:      newParam("classifier.Embed", vocab, embDim),
+		Stack:      NewLSTMStack(embDim, hidden, layers, rng),
+		Out:        NewDense(hidden, vocab, rng),
+		TrainEmbed: true,
+	}
+	tensor.Randn(m.Embed.Value, 0.1, rng)
+	return m
+}
+
+// SetEmbeddings installs pre-trained vectors (e.g. from internal/embed).
+// The matrix must be [vocab x embDim]; it is copied.
+func (m *SeqClassifier) SetEmbeddings(emb *tensor.Matrix) {
+	if emb.Rows != m.Vocab || emb.Cols != m.EmbDim {
+		panic(fmt.Sprintf("nn: embeddings %dx%d, want %dx%d", emb.Rows, emb.Cols, m.Vocab, m.EmbDim))
+	}
+	m.Embed.Value.CopyFrom(emb)
+}
+
+// Params returns the trainable parameters; the embedding table is
+// included only when TrainEmbed is set.
+func (m *SeqClassifier) Params() []*Param {
+	ps := append(m.Stack.Params(), m.Out.Params()...)
+	if m.TrainEmbed {
+		ps = append(ps, m.Embed)
+	}
+	return ps
+}
+
+// embed looks up the embedding row for a token (aliased, do not mutate).
+func (m *SeqClassifier) embedRow(tok int) []float64 {
+	if tok < 0 || tok >= m.Vocab {
+		panic(fmt.Sprintf("nn: token %d out of vocab %d", tok, m.Vocab))
+	}
+	return m.Embed.Value.Row(tok)
+}
+
+// WindowLoss performs one teacher-forced training pass over a window.
+// The first history tokens are context; the model is asked to predict
+// the following steps tokens (so len(window) must be history+steps).
+// Gradients accumulate into Params; the caller owns zeroing and the
+// optimizer step. The return value is the mean cross-entropy over the
+// predicted steps.
+func (m *SeqClassifier) WindowLoss(window []int, history, steps int) float64 {
+	if steps < 1 || history < 1 {
+		panic(fmt.Sprintf("nn: invalid history=%d steps=%d", history, steps))
+	}
+	if len(window) != history+steps {
+		panic(fmt.Sprintf("nn: window length %d, want history+steps=%d", len(window), history+steps))
+	}
+	T := history + steps - 1 // inputs fed (teacher forcing)
+	xs := make([][]float64, T)
+	for t := 0; t < T; t++ {
+		xs[t] = m.embedRow(window[t])
+	}
+	tape := m.Stack.Forward(xs)
+
+	total := 0.0
+	dOut := make([][]float64, T)
+	probs := make([]float64, m.Vocab)
+	for t := history - 1; t < T; t++ {
+		target := window[t+1]
+		logits := m.Out.Forward(tape.Outputs[t])
+		loss.Softmax(probs, logits)
+		total += loss.CrossEntropy(probs, target)
+		dLogits := make([]float64, m.Vocab)
+		loss.SoftmaxCrossEntropyGrad(dLogits, probs, target)
+		tensor.VecScale(dLogits, 1/float64(steps))
+		dOut[t] = m.Out.Backward(tape.Outputs[t], dLogits)
+	}
+	dxs := m.Stack.Backward(tape, dOut)
+	if m.TrainEmbed {
+		for t := 0; t < T; t++ {
+			tensor.Axpy(1, dxs[t], m.Embed.Grad.Row(window[t]))
+		}
+	}
+	return total / float64(steps)
+}
+
+// NextProbs returns the softmax distribution over the next phrase given
+// a history of tokens (no gradient recording).
+func (m *SeqClassifier) NextProbs(history []int) []float64 {
+	st := m.Stack.NewState()
+	var h []float64
+	for _, tok := range history {
+		h = m.Stack.StepInfer(m.embedRow(tok), st)
+	}
+	if h == nil {
+		h = make([]float64, m.Stack.HiddenSize())
+	}
+	logits := m.Out.Forward(h)
+	p := make([]float64, m.Vocab)
+	loss.Softmax(p, logits)
+	return p
+}
+
+// Predict rolls the model out steps tokens past the history, greedily
+// feeding each argmax prediction back as the next input — the paper's
+// "3-step prediction" inference mode.
+func (m *SeqClassifier) Predict(history []int, steps int) []int {
+	st := m.Stack.NewState()
+	var h []float64
+	for _, tok := range history {
+		h = m.Stack.StepInfer(m.embedRow(tok), st)
+	}
+	if h == nil {
+		h = make([]float64, m.Stack.HiddenSize())
+	}
+	out := make([]int, 0, steps)
+	probs := make([]float64, m.Vocab)
+	for s := 0; s < steps; s++ {
+		logits := m.Out.Forward(h)
+		loss.Softmax(probs, logits)
+		tok := tensor.ArgMax(probs)
+		out = append(out, tok)
+		if s+1 < steps {
+			h = m.Stack.StepInfer(m.embedRow(tok), st)
+		}
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"desh/internal/tensor"
+)
+
+// Dense is a fully connected layer y = W·x + b used as the output head
+// of both sequence models (softmax logits in Phase 1, 2-state regression
+// in Phases 2/3).
+type Dense struct {
+	InSize, OutSize int
+	W, B            *Param
+}
+
+// NewDense builds a Xavier-initialized dense layer.
+func NewDense(inSize, outSize int, rng *rand.Rand) *Dense {
+	if inSize <= 0 || outSize <= 0 {
+		panic(fmt.Sprintf("nn: invalid dense sizes in=%d out=%d", inSize, outSize))
+	}
+	d := &Dense{
+		InSize:  inSize,
+		OutSize: outSize,
+		W:       newParam("dense.W", outSize, inSize),
+		B:       newParam("dense.B", 1, outSize),
+	}
+	tensor.XavierInit(d.W.Value, inSize, outSize, rng)
+	return d
+}
+
+// Params returns the layer's trainable parameters.
+func (d *Dense) Params() []*Param {
+	return []*Param{d.W, d.B}
+}
+
+// Forward computes y = W·x + b into a fresh slice.
+func (d *Dense) Forward(x []float64) []float64 {
+	y := make([]float64, d.OutSize)
+	tensor.MatVecInto(y, d.W.Value, x)
+	tensor.Axpy(1, d.B.Value.Data, y)
+	return y
+}
+
+// Backward accumulates gradients for one (x, dy) pair and returns dx.
+func (d *Dense) Backward(x, dy []float64) []float64 {
+	if len(x) != d.InSize || len(dy) != d.OutSize {
+		panic(fmt.Sprintf("nn: dense backward lengths %d/%d, want %d/%d", len(x), len(dy), d.InSize, d.OutSize))
+	}
+	tensor.AddOuterScaled(d.W.Grad, dy, x, 1)
+	tensor.Axpy(1, dy, d.B.Grad.Data)
+	dx := make([]float64, d.InSize)
+	tensor.MatTVecInto(dx, d.W.Value, dy)
+	return dx
+}

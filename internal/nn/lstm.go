@@ -1,0 +1,151 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"desh/internal/tensor"
+)
+
+// LSTMLayer is a single long short-term memory layer (Hochreiter &
+// Schmidhuber 1997) with input, forget, candidate and output gates. The
+// four gate blocks are packed into combined weight matrices:
+//
+//	Wx: [4H x In]  input-to-gate weights
+//	Wh: [4H x H]   hidden-to-gate (recurrent) weights
+//	B:  [1 x 4H]   gate biases
+//
+// Gate block order within the 4H rows is i, f, g, o.
+type LSTMLayer struct {
+	InSize, HiddenSize int
+	Wx, Wh, B          *Param
+}
+
+// NewLSTMLayer builds a layer with Xavier-initialized weights and the
+// forget-gate bias set to 1 (the standard trick that lets fresh LSTMs
+// retain memory early in training).
+func NewLSTMLayer(inSize, hiddenSize int, rng *rand.Rand) *LSTMLayer {
+	if inSize <= 0 || hiddenSize <= 0 {
+		panic(fmt.Sprintf("nn: invalid LSTM sizes in=%d hidden=%d", inSize, hiddenSize))
+	}
+	l := &LSTMLayer{
+		InSize:     inSize,
+		HiddenSize: hiddenSize,
+		Wx:         newParam("lstm.Wx", 4*hiddenSize, inSize),
+		Wh:         newParam("lstm.Wh", 4*hiddenSize, hiddenSize),
+		B:          newParam("lstm.B", 1, 4*hiddenSize),
+	}
+	tensor.XavierInit(l.Wx.Value, inSize, hiddenSize, rng)
+	tensor.XavierInit(l.Wh.Value, hiddenSize, hiddenSize, rng)
+	for j := hiddenSize; j < 2*hiddenSize; j++ {
+		l.B.Value.Data[j] = 1
+	}
+	return l
+}
+
+// Params returns the layer's trainable parameters.
+func (l *LSTMLayer) Params() []*Param {
+	return []*Param{l.Wx, l.Wh, l.B}
+}
+
+// stepCache records the activations of one forward step, everything the
+// matching backward step needs.
+type stepCache struct {
+	x, hPrev, cPrev []float64
+	i, f, g, o      []float64 // post-nonlinearity gate activations
+	c, tc           []float64 // cell state and tanh(cell state)
+}
+
+// StepForward advances the layer one timestep. It returns the new hidden
+// and cell states plus a cache for backprop. x must have length InSize;
+// hPrev and cPrev length HiddenSize. Inputs are copied into the cache, so
+// callers may reuse their buffers.
+func (l *LSTMLayer) StepForward(x, hPrev, cPrev []float64) (h, c []float64, cache *stepCache) {
+	H := l.HiddenSize
+	if len(x) != l.InSize {
+		panic(fmt.Sprintf("nn: LSTM input length %d, want %d", len(x), l.InSize))
+	}
+	if len(hPrev) != H || len(cPrev) != H {
+		panic(fmt.Sprintf("nn: LSTM state lengths %d/%d, want %d", len(hPrev), len(cPrev), H))
+	}
+	z := make([]float64, 4*H)
+	tensor.MatVecInto(z, l.Wx.Value, x)
+	zh := make([]float64, 4*H)
+	tensor.MatVecInto(zh, l.Wh.Value, hPrev)
+	bias := l.B.Value.Data
+	for j := range z {
+		z[j] += zh[j] + bias[j]
+	}
+
+	cache = &stepCache{
+		x:     tensor.VecCopy(x),
+		hPrev: tensor.VecCopy(hPrev),
+		cPrev: tensor.VecCopy(cPrev),
+		i:     make([]float64, H),
+		f:     make([]float64, H),
+		g:     make([]float64, H),
+		o:     make([]float64, H),
+		c:     make([]float64, H),
+		tc:    make([]float64, H),
+	}
+	h = make([]float64, H)
+	c = make([]float64, H)
+	for j := 0; j < H; j++ {
+		ij := sigmoid(z[j])
+		fj := sigmoid(z[H+j])
+		gj := math.Tanh(z[2*H+j])
+		oj := sigmoid(z[3*H+j])
+		cj := fj*cPrev[j] + ij*gj
+		tcj := math.Tanh(cj)
+		cache.i[j], cache.f[j], cache.g[j], cache.o[j] = ij, fj, gj, oj
+		cache.c[j], cache.tc[j] = cj, tcj
+		c[j] = cj
+		h[j] = oj * tcj
+	}
+	return h, c, cache
+}
+
+// StepBackward consumes one cached step in reverse order. dh and dc are
+// the gradients flowing into this step's hidden and cell outputs (dc may
+// be nil meaning zero). It accumulates weight gradients into the layer's
+// Params and returns the gradients w.r.t. the step's input and incoming
+// states.
+func (l *LSTMLayer) StepBackward(cache *stepCache, dh, dc []float64) (dx, dhPrev, dcPrev []float64) {
+	H := l.HiddenSize
+	dz := make([]float64, 4*H)
+	dcFull := make([]float64, H)
+	for j := 0; j < H; j++ {
+		dcj := 0.0
+		if dc != nil {
+			dcj = dc[j]
+		}
+		// h = o*tanh(c): route dh into the output gate and the cell.
+		doj := dh[j] * cache.tc[j]
+		dcj += dh[j] * cache.o[j] * (1 - cache.tc[j]*cache.tc[j])
+		dcFull[j] = dcj
+
+		dij := dcj * cache.g[j]
+		dfj := dcj * cache.cPrev[j]
+		dgj := dcj * cache.i[j]
+
+		dz[j] = dij * cache.i[j] * (1 - cache.i[j])
+		dz[H+j] = dfj * cache.f[j] * (1 - cache.f[j])
+		dz[2*H+j] = dgj * (1 - cache.g[j]*cache.g[j])
+		dz[3*H+j] = doj * cache.o[j] * (1 - cache.o[j])
+	}
+
+	tensor.AddOuterScaled(l.Wx.Grad, dz, cache.x, 1)
+	tensor.AddOuterScaled(l.Wh.Grad, dz, cache.hPrev, 1)
+	tensor.Axpy(1, dz, l.B.Grad.Data)
+
+	dx = make([]float64, l.InSize)
+	tensor.MatTVecInto(dx, l.Wx.Value, dz)
+	dhPrev = make([]float64, H)
+	tensor.MatTVecInto(dhPrev, l.Wh.Value, dz)
+	dcPrev = make([]float64, H)
+	for j := 0; j < H; j++ {
+		dcPrev[j] = dcFull[j] * cache.f[j]
+	}
+	return dx, dhPrev, dcPrev
+}

@@ -1,0 +1,141 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"desh/internal/loss"
+)
+
+// SeqRegressor is the Phase-2/3 model: it consumes 2-state vectors
+// (ΔT, phrase-id) from failure chains and predicts the next vector with
+// MSE loss (Table 5, rows Phase-2/3: MSE + RMSprop, history size 5,
+// 1-step prediction, 2 hidden layers).
+//
+// Input and output dimensions are independent so callers can feed the
+// LSTM normalized features while regressing differently-scaled targets.
+type SeqRegressor struct {
+	InDim, OutDim int
+	Stack         *LSTMStack
+	Out           *Dense
+}
+
+// NewSeqRegressor builds the Phase-2 architecture with equal input and
+// output width.
+func NewSeqRegressor(dim, hidden, layers int, rng *rand.Rand) *SeqRegressor {
+	return NewSeqRegressorIO(dim, dim, hidden, layers, rng)
+}
+
+// NewSeqRegressorIO builds a regressor with distinct input and output
+// widths.
+func NewSeqRegressorIO(inDim, outDim, hidden, layers int, rng *rand.Rand) *SeqRegressor {
+	if inDim <= 0 || outDim <= 0 {
+		panic(fmt.Sprintf("nn: invalid regressor dims in=%d out=%d", inDim, outDim))
+	}
+	return &SeqRegressor{
+		InDim:  inDim,
+		OutDim: outDim,
+		Stack:  NewLSTMStack(inDim, hidden, layers, rng),
+		Out:    NewDense(hidden, outDim, rng),
+	}
+}
+
+// Params returns the trainable parameters.
+func (m *SeqRegressor) Params() []*Param {
+	return append(m.Stack.Params(), m.Out.Params()...)
+}
+
+// WindowLoss performs one training pass: the inputs are the context
+// window and target is the 1-step prediction target. Gradients
+// accumulate into Params. Returns the MSE of the prediction.
+func (m *SeqRegressor) WindowLoss(inputs [][]float64, target []float64) float64 {
+	if len(inputs) < 1 {
+		panic("nn: regressor needs at least one context vector")
+	}
+	if len(target) != m.OutDim {
+		panic(fmt.Sprintf("nn: regressor target length %d, want %d", len(target), m.OutDim))
+	}
+	tape := m.Stack.Forward(inputs)
+	last := len(inputs) - 1
+	hLast := tape.Outputs[last]
+	pred := m.Out.Forward(hLast)
+	mse := loss.MSE(pred, target)
+
+	dPred := make([]float64, m.OutDim)
+	loss.MSEGrad(dPred, pred, target)
+	dOut := make([][]float64, len(inputs))
+	dOut[last] = m.Out.Backward(hLast, dPred)
+	m.Stack.Backward(tape, dOut)
+	return mse
+}
+
+// SequenceLoss performs one teacher-forced training pass over a whole
+// sequence: after reading inputs[0..t] the model must predict
+// targets[t]. This mirrors streaming inference (Stream.Step) exactly, so
+// a model trained this way is never asked to predict from a context it
+// will not see at detection time. Gradients accumulate into Params.
+// Returns the mean MSE across the sequence.
+func (m *SeqRegressor) SequenceLoss(inputs, targets [][]float64) float64 {
+	if len(inputs) == 0 || len(inputs) != len(targets) {
+		panic(fmt.Sprintf("nn: SequenceLoss lengths %d/%d", len(inputs), len(targets)))
+	}
+	tape := m.Stack.Forward(inputs)
+	total := 0.0
+	dOut := make([][]float64, len(inputs))
+	inv := 1 / float64(len(inputs))
+	for t := range inputs {
+		pred := m.Out.Forward(tape.Outputs[t])
+		total += loss.MSE(pred, targets[t])
+		dPred := make([]float64, m.OutDim)
+		loss.MSEGrad(dPred, pred, targets[t])
+		for i := range dPred {
+			dPred[i] *= inv
+		}
+		dOut[t] = m.Out.Backward(tape.Outputs[t], dPred)
+	}
+	m.Stack.Backward(tape, dOut)
+	return total * inv
+}
+
+// PredictNext returns the model's 1-step prediction after reading the
+// given context window (no gradients).
+func (m *SeqRegressor) PredictNext(window [][]float64) []float64 {
+	st := m.Stack.NewState()
+	var h []float64
+	for _, x := range window {
+		h = m.Stack.StepInfer(x, st)
+	}
+	if h == nil {
+		h = make([]float64, m.Stack.HiddenSize())
+	}
+	return m.Out.Forward(h)
+}
+
+// Stream is a stateful inference cursor over one node's vector sequence
+// (Phase 3 processes each node's log through an identical trained LSTM).
+type Stream struct {
+	m  *SeqRegressor
+	st *State
+	h  []float64
+}
+
+// NewStream starts a fresh per-node inference stream.
+func (m *SeqRegressor) NewStream() *Stream {
+	return &Stream{m: m, st: m.Stack.NewState()}
+}
+
+// Step feeds one observed vector and returns the model's prediction for
+// the *next* vector.
+func (s *Stream) Step(x []float64) []float64 {
+	s.h = s.m.Stack.StepInfer(x, s.st)
+	return s.m.Out.Forward(s.h)
+}
+
+// ScoreNext returns the MSE between the stream's current next-vector
+// prediction and an observed vector, without advancing the stream.
+func (s *Stream) ScoreNext(observed []float64) float64 {
+	if s.h == nil {
+		return loss.MSE(make([]float64, s.m.OutDim), observed)
+	}
+	return loss.MSE(s.m.Out.Forward(s.h), observed)
+}

@@ -1,0 +1,166 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// LSTMStack stacks LSTM layers so the hidden sequence of layer k feeds
+// layer k+1 — the paper's "stacked LSTM ... with multiple hidden layers"
+// (Figure 1b). Desh uses 2 hidden layers in every phase (Table 5).
+type LSTMStack struct {
+	Layers []*LSTMLayer
+}
+
+// NewLSTMStack builds numLayers LSTM layers, the first consuming inSize
+// features and the rest consuming the previous layer's hidden output.
+func NewLSTMStack(inSize, hiddenSize, numLayers int, rng *rand.Rand) *LSTMStack {
+	if numLayers <= 0 {
+		panic(fmt.Sprintf("nn: invalid layer count %d", numLayers))
+	}
+	s := &LSTMStack{Layers: make([]*LSTMLayer, numLayers)}
+	in := inSize
+	for k := range s.Layers {
+		s.Layers[k] = NewLSTMLayer(in, hiddenSize, rng)
+		in = hiddenSize
+	}
+	return s
+}
+
+// Params returns all layers' parameters, bottom layer first.
+func (s *LSTMStack) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// HiddenSize returns the width of the topmost hidden layer.
+func (s *LSTMStack) HiddenSize() int {
+	return s.Layers[len(s.Layers)-1].HiddenSize
+}
+
+// InSize returns the width the bottom layer expects.
+func (s *LSTMStack) InSize() int {
+	return s.Layers[0].InSize
+}
+
+// State is the recurrent state of a stack: hidden and cell vectors per
+// layer. The zero-valued state from NewState is the conventional all-zero
+// initial state.
+type State struct {
+	H, C [][]float64
+}
+
+// NewState allocates a zero state matching the stack's geometry.
+func (s *LSTMStack) NewState() *State {
+	st := &State{H: make([][]float64, len(s.Layers)), C: make([][]float64, len(s.Layers))}
+	for k, l := range s.Layers {
+		st.H[k] = make([]float64, l.HiddenSize)
+		st.C[k] = make([]float64, l.HiddenSize)
+	}
+	return st
+}
+
+// Clone deep-copies the state.
+func (st *State) Clone() *State {
+	c := &State{H: make([][]float64, len(st.H)), C: make([][]float64, len(st.C))}
+	for k := range st.H {
+		c.H[k] = append([]float64(nil), st.H[k]...)
+		c.C[k] = append([]float64(nil), st.C[k]...)
+	}
+	return c
+}
+
+// Tape records a forward pass over a sequence for backprop.
+type Tape struct {
+	caches  [][]*stepCache // [timestep][layer]
+	Outputs [][]float64    // top-layer hidden vector per timestep
+}
+
+// Steps returns the number of recorded timesteps.
+func (t *Tape) Steps() int { return len(t.caches) }
+
+// Forward runs the stack over a sequence of input vectors starting from
+// the all-zero state, recording a tape for Backward. xs[t] must have
+// length InSize().
+func (s *LSTMStack) Forward(xs [][]float64) *Tape {
+	st := s.NewState()
+	tape := &Tape{
+		caches:  make([][]*stepCache, len(xs)),
+		Outputs: make([][]float64, len(xs)),
+	}
+	for t, x := range xs {
+		tape.caches[t] = make([]*stepCache, len(s.Layers))
+		in := x
+		for k, l := range s.Layers {
+			h, c, cache := l.StepForward(in, st.H[k], st.C[k])
+			st.H[k], st.C[k] = h, c
+			tape.caches[t][k] = cache
+			in = h
+		}
+		tape.Outputs[t] = st.H[len(s.Layers)-1]
+	}
+	return tape
+}
+
+// StepInfer advances the stack one step without recording anything,
+// mutating st in place. It returns the top-layer hidden vector. This is
+// the Phase-3 inference path and the Figure-10 cost-analysis kernel.
+func (s *LSTMStack) StepInfer(x []float64, st *State) []float64 {
+	in := x
+	for k, l := range s.Layers {
+		h, c, _ := l.StepForward(in, st.H[k], st.C[k])
+		st.H[k], st.C[k] = h, c
+		in = h
+	}
+	return in
+}
+
+// Backward runs truncated backprop-through-time over the tape. dOut[t]
+// is the gradient w.r.t. the top-layer hidden output at step t (nil
+// entries mean no gradient at that step). Weight gradients accumulate
+// into the layers' Params. It returns the gradients w.r.t. each input
+// vector, for upstream layers such as a trainable embedding.
+func (s *LSTMStack) Backward(tape *Tape, dOut [][]float64) [][]float64 {
+	T := tape.Steps()
+	if len(dOut) != T {
+		panic(fmt.Sprintf("nn: Backward got %d output grads for %d steps", len(dOut), T))
+	}
+	L := len(s.Layers)
+	top := L - 1
+	// Per-layer gradients flowing backward in time.
+	dhNext := make([][]float64, L)
+	dcNext := make([][]float64, L)
+	dxs := make([][]float64, T)
+	for t := T - 1; t >= 0; t-- {
+		// Gradient into each layer's hidden output at step t: from the
+		// future timestep (dhNext) plus, for the top layer, the external
+		// loss gradient; for lower layers, the input gradient of the
+		// layer above (added inside the loop below).
+		var dFromAbove []float64
+		for k := top; k >= 0; k-- {
+			l := s.Layers[k]
+			dh := make([]float64, l.HiddenSize)
+			if dhNext[k] != nil {
+				copy(dh, dhNext[k])
+			}
+			if k == top && dOut[t] != nil {
+				for i, v := range dOut[t] {
+					dh[i] += v
+				}
+			}
+			if k < top && dFromAbove != nil {
+				for i, v := range dFromAbove {
+					dh[i] += v
+				}
+			}
+			dx, dhPrev, dcPrev := l.StepBackward(tape.caches[t][k], dh, dcNext[k])
+			dhNext[k], dcNext[k] = dhPrev, dcPrev
+			dFromAbove = dx
+		}
+		dxs[t] = dFromAbove
+	}
+	return dxs
+}

@@ -1,0 +1,146 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the number of multiply-adds below which MatMul
+// runs single-threaded; spawning goroutines for tiny products costs more
+// than it saves.
+const parallelThreshold = 64 * 64 * 64
+
+// MatMul returns a*b as a new matrix.
+func MatMul(a, b *Matrix) *Matrix {
+	dst := New(a.Rows, b.Cols)
+	MatMulInto(dst, a, b)
+	return dst
+}
+
+// MatMulInto computes dst = a*b. dst must be a.Rows x b.Cols and must not
+// alias a or b. Large products are split row-wise across GOMAXPROCS
+// goroutines; the kernel iterates k-then-j so the inner loop streams both
+// b and dst rows sequentially (cache friendly, auto-vectorizable).
+func MatMulInto(dst, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul dst is %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Cols))
+	}
+	work := a.Rows * a.Cols * b.Cols
+	if work < parallelThreshold || a.Rows == 1 {
+		matMulRows(dst, a, b, 0, a.Rows)
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > a.Rows {
+		workers = a.Rows
+	}
+	var wg sync.WaitGroup
+	chunk := (a.Rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulRows(dst, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matMulRows computes rows [lo,hi) of dst = a*b.
+func matMulRows(dst, a, b *Matrix, lo, hi int) {
+	n := b.Cols
+	for i := lo; i < hi; i++ {
+		drow := dst.Data[i*n : (i+1)*n]
+		for j := range drow {
+			drow[j] = 0
+		}
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*n : (k+1)*n]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatVec returns a * x for a column vector x (len(x) == a.Cols).
+func MatVec(a *Matrix, x []float64) []float64 {
+	dst := make([]float64, a.Rows)
+	MatVecInto(dst, a, x)
+	return dst
+}
+
+// MatVecInto computes dst = a*x; len(dst) must equal a.Rows.
+func MatVecInto(dst []float64, a *Matrix, x []float64) {
+	if len(x) != a.Cols {
+		panic(fmt.Sprintf("tensor: MatVec dimension mismatch %dx%d * %d", a.Rows, a.Cols, len(x)))
+	}
+	if len(dst) != a.Rows {
+		panic(fmt.Sprintf("tensor: MatVec dst length %d, want %d", len(dst), a.Rows))
+	}
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// MatTVecInto computes dst = aᵀ*x (len(x) == a.Rows, len(dst) == a.Cols)
+// without materializing the transpose. dst is overwritten.
+func MatTVecInto(dst []float64, a *Matrix, x []float64) {
+	if len(x) != a.Rows {
+		panic(fmt.Sprintf("tensor: MatTVec dimension mismatch %dx%dᵀ * %d", a.Rows, a.Cols, len(x)))
+	}
+	if len(dst) != a.Cols {
+		panic(fmt.Sprintf("tensor: MatTVec dst length %d, want %d", len(dst), a.Cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j, v := range row {
+			dst[j] += xi * v
+		}
+	}
+}
+
+// AddOuterScaled accumulates dst += s * x*yᵀ where dst is len(x) x len(y).
+// This is the weight-gradient kernel used in backprop.
+func AddOuterScaled(dst *Matrix, x, y []float64, s float64) {
+	if dst.Rows != len(x) || dst.Cols != len(y) {
+		panic(fmt.Sprintf("tensor: AddOuterScaled dst %dx%d, want %dx%d", dst.Rows, dst.Cols, len(x), len(y)))
+	}
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		f := s * xv
+		row := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j, yv := range y {
+			row[j] += f * yv
+		}
+	}
+}

@@ -1,0 +1,238 @@
+// Package tensor provides dense float64 linear algebra for the Desh
+// neural-network substrate: row-major matrices, parallel matrix
+// multiplication, elementwise kernels and reduction helpers.
+//
+// The package is deliberately small and allocation-conscious: every hot
+// operation has an in-place variant that writes into a caller-provided
+// destination so training loops can reuse buffers across timesteps.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense, row-major matrix of float64 values. The zero value
+// is an empty 0x0 matrix. Data holds Rows*Cols elements; element (i,j)
+// lives at Data[i*Cols+j].
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zeroed rows x cols matrix. It panics if either dimension
+// is negative.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data as a rows x cols matrix without copying. It panics
+// if len(data) != rows*cols.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice wants %d elements, got %d", rows*cols, len(data)))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// FromRows builds a matrix by copying the given equal-length rows.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	cols := len(rows[0])
+	m := New(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("tensor: FromRows ragged input: row %d has %d cols, want %d", i, len(r), cols))
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m
+}
+
+// At returns element (i,j).
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.Data[i*m.Cols+j]
+}
+
+// Set assigns element (i,j).
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.Data[i*m.Cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("tensor: index (%d,%d) out of range %dx%d", i, j, m.Rows, m.Cols))
+	}
+}
+
+// Row returns a slice aliasing row i (no copy).
+func (m *Matrix) Row(i int) []float64 {
+	if i < 0 || i >= m.Rows {
+		panic(fmt.Sprintf("tensor: row %d out of range %d", i, m.Rows))
+	}
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// CopyFrom copies src's contents into m; shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	m.sameShape(src, "CopyFrom")
+	copy(m.Data, src.Data)
+}
+
+// Zero sets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float64) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// T returns a newly allocated transpose of m.
+func (m *Matrix) T() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+func (m *Matrix) sameShape(o *Matrix, op string) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+}
+
+// Add computes m += o elementwise.
+func (m *Matrix) Add(o *Matrix) {
+	m.sameShape(o, "Add")
+	for i, v := range o.Data {
+		m.Data[i] += v
+	}
+}
+
+// Sub computes m -= o elementwise.
+func (m *Matrix) Sub(o *Matrix) {
+	m.sameShape(o, "Sub")
+	for i, v := range o.Data {
+		m.Data[i] -= v
+	}
+}
+
+// Hadamard computes m *= o elementwise.
+func (m *Matrix) Hadamard(o *Matrix) {
+	m.sameShape(o, "Hadamard")
+	for i, v := range o.Data {
+		m.Data[i] *= v
+	}
+}
+
+// Scale multiplies every element by s.
+func (m *Matrix) Scale(s float64) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AddScaled computes m += s*o elementwise.
+func (m *Matrix) AddScaled(o *Matrix, s float64) {
+	m.sameShape(o, "AddScaled")
+	for i, v := range o.Data {
+		m.Data[i] += s * v
+	}
+}
+
+// Apply replaces every element x with f(x).
+func (m *Matrix) Apply(f func(float64) float64) {
+	for i, v := range m.Data {
+		m.Data[i] = f(v)
+	}
+}
+
+// Sum returns the sum of all elements.
+func (m *Matrix) Sum() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute element value, 0 for empty matrices.
+func (m *Matrix) MaxAbs() float64 {
+	max := 0.0
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// FrobeniusNorm returns sqrt(sum of squared elements).
+func (m *Matrix) FrobeniusNorm() float64 {
+	s := 0.0
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Equals reports whether m and o have the same shape and all elements
+// within tol of each other.
+func (m *Matrix) Equals(o *Matrix, tol float64) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if math.Abs(v-o.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders small matrices for debugging.
+func (m *Matrix) String() string {
+	s := fmt.Sprintf("Matrix %dx%d [", m.Rows, m.Cols)
+	for i := 0; i < m.Rows && i < 6; i++ {
+		if i > 0 {
+			s += "; "
+		}
+		for j := 0; j < m.Cols && j < 8; j++ {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%.4g", m.At(i, j))
+		}
+		if m.Cols > 8 {
+			s += " ..."
+		}
+	}
+	if m.Rows > 6 {
+		s += "; ..."
+	}
+	return s + "]"
+}
