@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The race detector runs over the packages that fan work out to the
+# worker pool (Phase-3 inference, the Figure-8 sweep via experiments'
+# core usage, and mini-batch skip-gram training).
+race:
+	$(GO) test -race ./internal/core/... ./internal/embed/...
+
+# verify is the tier-1 gate: build + full tests, plus vet and the race
+# detector over the concurrent packages.
+verify: build test vet race
+
+# bench verifies first, then runs the full per-table/figure benchmark
+# suite with allocation reporting; results land in bench.txt.
+bench: verify
+	$(GO) test -bench=. -benchmem -count=5 | tee bench.txt

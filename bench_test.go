@@ -7,6 +7,7 @@ package desh
 // its artifact.
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -85,6 +86,7 @@ func BenchmarkTable3_PhraseLabeling(b *testing.B) {
 	lab := label.New()
 	keys := catalog.Keys(nil)
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		lab.Label(keys[i%len(keys)])
 	}
@@ -111,6 +113,8 @@ func BenchmarkTable4_ChainFormation(b *testing.B) {
 // (trivially cheap; included for completeness of the per-artifact set).
 func BenchmarkTable5_PhaseConfigs(b *testing.B) {
 	cfg := experiments.DefaultPipelineConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if s := experiments.Table5(cfg); !strings.Contains(s, "Phase-1") {
 			b.Fatal("bad table")
@@ -139,6 +143,7 @@ func BenchmarkFig4_PredictionRates(b *testing.B) {
 // BenchmarkFig5_ErrorRates measures confusion-matrix scoring.
 func BenchmarkFig5_ErrorRates(b *testing.B) {
 	r := benchSystem(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		conf, _ := core.Score(r.Verdicts)
@@ -152,6 +157,7 @@ func BenchmarkFig5_ErrorRates(b *testing.B) {
 func BenchmarkFig6_LeadTimesByClass(b *testing.B) {
 	r := benchSystem(b)
 	results := []*experiments.SystemResult{r}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		stats := experiments.ClassLeadStats(results)
@@ -164,6 +170,7 @@ func BenchmarkFig6_LeadTimesByClass(b *testing.B) {
 // BenchmarkFig7_LeadTimesBySystem measures per-system lead summaries.
 func BenchmarkFig7_LeadTimesBySystem(b *testing.B) {
 	r := benchSystem(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := metrics.SummarizeLeads(r.Leads)
@@ -177,6 +184,7 @@ func BenchmarkFig7_LeadTimesBySystem(b *testing.B) {
 // sweep behind Figure 8 (re-detects every candidate per setting).
 func BenchmarkFig8_LeadTimeSensitivity(b *testing.B) {
 	r := benchSystem(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		points := experiments.LeadTimeSensitivity(r)
@@ -196,6 +204,7 @@ func BenchmarkFig9_UnknownPhraseAnalysis(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		stats := chain.CollectPhraseStats(failures, candidates)
@@ -209,6 +218,7 @@ func BenchmarkFig9_UnknownPhraseAnalysis(b *testing.B) {
 // non-failure sequence exhibit.
 func BenchmarkTable9_MaskedFaults(b *testing.B) {
 	r := benchSystem(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if s := experiments.Table9(r); !strings.Contains(s, "Failure") {
@@ -218,7 +228,9 @@ func BenchmarkTable9_MaskedFaults(b *testing.B) {
 }
 
 // BenchmarkFig10_PredictionCost measures the Figure-10 kernel itself:
-// k-step Phase-1 prediction at both history sizes.
+// k-step Phase-1 prediction at both history sizes, through a reusable
+// Predictor as a hot serving loop would run it (steady state must not
+// allocate — allocs/op is the regression guard for the scratch arenas).
 func BenchmarkFig10_PredictionCost(b *testing.B) {
 	r := benchSystem(b)
 	model := r.Pipeline.Phase1Model()
@@ -229,8 +241,11 @@ func BenchmarkFig10_PredictionCost(b *testing.B) {
 	for _, hs := range []int{5, 8} {
 		for _, steps := range []int{1, 2, 3} {
 			b.Run(benchName(hs, steps), func(b *testing.B) {
+				pred := model.NewPredictor()
+				b.ReportAllocs()
+				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					model.Predict(history[:hs], steps)
+					pred.Predict(history[:hs], steps)
 				}
 			})
 		}
@@ -238,7 +253,7 @@ func BenchmarkFig10_PredictionCost(b *testing.B) {
 }
 
 func benchName(hs, steps int) string {
-	return "history" + string(rune('0'+hs)) + "_steps" + string(rune('0'+steps))
+	return fmt.Sprintf("history%d_steps%d", hs, steps)
 }
 
 // BenchmarkTable10_Comparison measures DeepLog's per-entry detection
@@ -260,6 +275,7 @@ func BenchmarkTable10_Comparison(b *testing.B) {
 		}
 		seqs = append(seqs, events)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		anomalous, _ := d.SequenceAnomalous(seqs[i%len(seqs)])
@@ -274,6 +290,7 @@ func BenchmarkTable11_Capabilities(b *testing.B) {
 	if benchDeep == nil {
 		b.Fatal("deeplog result missing")
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if s := experiments.Table11(r, benchDeep); !strings.Contains(s, "Lead Time") {

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"desh/internal/chain"
+	"desh/internal/logsim"
+)
+
+// trainSmall builds a trained pipeline plus its test-split candidate
+// chains at reduced scale — determinism tests need a real Phase-2 model
+// but not a good one.
+func trainSmall(t *testing.T, seed int64) (*Pipeline, []chain.Chain) {
+	t.Helper()
+	_, events := generateParsed(t, logsim.Profiles()[int(seed)%len(logsim.Profiles())], 30, 48, 40, seed)
+	train, test := SplitEvents(events, 0.3)
+	cfg := fastConfig()
+	cfg.Epochs2 = 30
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	all, err := p.candidateChains(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) < 4 {
+		t.Fatalf("only %d candidate chains at seed %d", len(all), seed)
+	}
+	return p, all
+}
+
+// TestPredictParallelMatchesSerial pins the tentpole guarantee: the
+// worker-pool Phase-3 path produces byte-identical verdicts to the
+// serial path, across seeds and GOMAXPROCS settings. Each worker owns a
+// private Detector and writes verdicts by index, so nothing observable
+// depends on scheduling.
+func TestPredictParallelMatchesSerial(t *testing.T) {
+	for _, seed := range []int64{31, 32, 33} {
+		p, all := trainSmall(t, seed)
+		serial := p.detectAll(all, false)
+		if parallel := p.detectAll(all, true); !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("seed %d: parallel verdicts differ from serial", seed)
+		}
+		// Re-run under an inflated worker count; on a single-CPU host
+		// this is the only way to exercise multi-worker scheduling.
+		prev := runtime.GOMAXPROCS(4)
+		again := p.detectAll(all, true)
+		runtime.GOMAXPROCS(prev)
+		if !reflect.DeepEqual(serial, again) {
+			t.Errorf("seed %d: verdicts differ at GOMAXPROCS=4", seed)
+		}
+	}
+}

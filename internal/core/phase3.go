@@ -11,6 +11,8 @@ import (
 	"desh/internal/logparse"
 	"desh/internal/loss"
 	"desh/internal/metrics"
+	"desh/internal/nn"
+	"desh/internal/par"
 )
 
 // Verdict is Phase 3's judgement of one candidate sequence on one node.
@@ -35,8 +37,21 @@ type Verdict struct {
 
 // Predict runs Phase-3 inference over parsed test events: per-node
 // episode segmentation, ΔT vectorization, and streaming next-sample
-// matching against the Phase-2 model.
+// matching against the Phase-2 model. Candidate sequences are scored
+// concurrently on a bounded worker pool (one LSTM stream per worker);
+// verdicts are written by index, so the result is byte-identical to the
+// serial path regardless of scheduling.
 func (p *Pipeline) Predict(events []logparse.Event) ([]Verdict, error) {
+	all, err := p.candidateChains(events)
+	if err != nil {
+		return nil, err
+	}
+	return p.detectAll(all, true), nil
+}
+
+// candidateChains extracts and deterministically orders every candidate
+// sequence in the test events.
+func (p *Pipeline) candidateChains(events []logparse.Event) ([]chain.Chain, error) {
 	if p.phase2 == nil {
 		return nil, fmt.Errorf("core: pipeline is not trained")
 	}
@@ -46,18 +61,41 @@ func (p *Pipeline) Predict(events []logparse.Event) ([]Verdict, error) {
 	if err != nil {
 		return nil, err
 	}
-	all := append(failures, candidates...)
+	// Build a fresh slice rather than append(failures, ...): appending
+	// could reuse failures' backing array, and sorting an alias of
+	// ExtractAll's result while workers read chains is a data hazard.
+	all := make([]chain.Chain, 0, len(failures)+len(candidates))
+	all = append(all, failures...)
+	all = append(all, candidates...)
 	sort.Slice(all, func(i, j int) bool {
 		if !all[i].FailTime.Equal(all[j].FailTime) {
 			return all[i].FailTime.Before(all[j].FailTime)
 		}
 		return all[i].Node < all[j].Node
 	})
+	return all, nil
+}
+
+// detectAll scores every chain, fanning out over par workers when
+// parallel is set. Each worker owns one Detector (stream + scratch); the
+// verdict for chain i always lands in slot i.
+func (p *Pipeline) detectAll(all []chain.Chain, parallel bool) []Verdict {
 	verdicts := make([]Verdict, len(all))
-	for i, c := range all {
-		verdicts[i] = p.Detect(c)
+	if !parallel {
+		d := p.NewDetector()
+		for i, c := range all {
+			verdicts[i] = d.Detect(c)
+		}
+		return verdicts
 	}
-	return verdicts, nil
+	detectors := make([]*Detector, par.Workers(len(all)))
+	par.ForWorker(len(all), func(w, i int) {
+		if detectors[w] == nil {
+			detectors[w] = p.NewDetector()
+		}
+		verdicts[i] = detectors[w].Detect(all[i])
+	})
+	return verdicts
 }
 
 // Detect scores one candidate sequence. The Phase-2 LSTM streams over
@@ -66,13 +104,46 @@ func (p *Pipeline) Predict(events []logparse.Event) ([]Verdict, error) {
 // MinMatches consecutive transitions, the sequence is flagged as an
 // impending failure at that point.
 func (p *Pipeline) Detect(c chain.Chain) Verdict {
-	return p.DetectWith(c, p.cfg.MSEThreshold, p.cfg.MinMatches)
+	return p.NewDetector().Detect(c)
 }
 
 // DetectWith is Detect with explicit threshold and match-count
 // settings — the Figure-8 sensitivity knob: looser settings flag
 // earlier (longer lead times) at the cost of more false positives.
 func (p *Pipeline) DetectWith(c chain.Chain, threshold float64, minMatches int) Verdict {
+	return p.NewDetector().DetectWith(c, threshold, minMatches)
+}
+
+// Detector is a reusable Phase-3 scoring context: one Phase-2 LSTM
+// stream plus vectorization scratch. Detectors make per-chain scoring
+// allocation-light and are the unit of parallelism — each worker in
+// Predict or the Figure-8 sweep owns one, and a Detector must not be
+// shared between goroutines.
+type Detector struct {
+	p       *Pipeline
+	stream  *nn.Stream
+	predRaw [2]float64
+}
+
+// NewDetector builds a scoring context for the trained Phase-2 model.
+// It panics if the pipeline is untrained.
+func (p *Pipeline) NewDetector() *Detector {
+	if p.phase2 == nil {
+		panic("core: NewDetector on untrained pipeline")
+	}
+	return &Detector{p: p, stream: p.phase2.NewStream()}
+}
+
+// Detect scores one candidate sequence with the pipeline's configured
+// threshold and match count.
+func (d *Detector) Detect(c chain.Chain) Verdict {
+	return d.DetectWith(c, d.p.cfg.MSEThreshold, d.p.cfg.MinMatches)
+}
+
+// DetectWith scores one candidate sequence with explicit settings,
+// rewinding the detector's stream first.
+func (d *Detector) DetectWith(c chain.Chain, threshold float64, minMatches int) Verdict {
+	p := d.p
 	v := Verdict{
 		Node:       c.Node,
 		AnchorTime: c.FailTime,
@@ -86,14 +157,15 @@ func (p *Pipeline) DetectWith(c chain.Chain, threshold float64, minMatches int) 
 		return v
 	}
 	idScale := p.idTargetScale()
-	stream := p.phase2.NewStream()
+	d.stream.Reset()
 	consecutive := 0
 	for i := 0; i+1 < len(raw); i++ {
-		pred := stream.Step(inputs[i])
+		pred := d.stream.Step(inputs[i])
 		// Undo the target scaling so the MSE threshold applies in the
 		// paper's raw (ΔT minutes, phrase id) space.
-		predRaw := []float64{pred[0], pred[1] / idScale}
-		mse := loss.MSE(predRaw, raw[i+1])
+		d.predRaw[0] = pred[0]
+		d.predRaw[1] = pred[1] / idScale
+		mse := loss.MSE(d.predRaw[:], raw[i+1])
 		if mse < v.MinMSE {
 			v.MinMSE = mse
 		}

@@ -186,14 +186,16 @@ func (p *Pipeline) trainPhase1(seqs [][]int, rng *rand.Rand) (finalLoss, accurac
 		}
 		finalLoss = total / float64(len(wins))
 	}
-	// Accuracy: 1-step greedy prediction over a sample of windows.
+	// Accuracy: 1-step greedy prediction over a sample of windows, via a
+	// reused Predictor so the sweep allocates nothing per window.
 	correct, checked := 0, 0
+	predictor := p.phase1.NewPredictor()
 	for i, w := range wins {
 		if i%7 != 0 { // sample to bound cost
 			continue
 		}
 		seq := seqs[w.seq][w.off : w.off+window]
-		pred := p.phase1.Predict(seq[:p.cfg.History1], 1)
+		pred := predictor.Predict(seq[:p.cfg.History1], 1)
 		if pred[0] == seq[p.cfg.History1] {
 			correct++
 		}

@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/rand"
 
+	"desh/internal/par"
 	"desh/internal/tensor"
 )
 
@@ -46,9 +47,39 @@ type Model struct {
 	In, Out    *tensor.Matrix
 }
 
+// batchSize is the number of center positions per mini-batch. It is a
+// fixed constant — NOT derived from the worker count — so the gradient
+// partitioning, and therefore the learned vectors, are identical no
+// matter how many workers run.
+const batchSize = 32
+
+// posRef addresses one center position in the flattened corpus.
+type posRef struct {
+	seq int32 // index into seqs
+	c   int32 // center index within the sequence
+}
+
+// posDelta holds the updates one center position wants to apply: a
+// single In-row delta for the center vector plus one Out-row delta per
+// trained (context or negative) pair, in pair order.
+type posDelta struct {
+	center  int
+	inDelta []float64
+	outRows []int
+	outVals []float64 // flattened, len(outRows)*dim
+}
+
 // Train learns embeddings for a vocabulary of the given size from token
 // sequences. Tokens must be in [0, vocab). Sequences shorter than two
 // tokens contribute nothing.
+//
+// Training is mini-batch parallel with a deterministic merge: positions
+// are processed in fixed-size batches; within a batch, workers compute
+// each position's gradient against the weights as of the batch start
+// (reads only), using a private RNG seeded from (Seed, epoch, position);
+// the per-position deltas are then applied serially in position order.
+// Nothing depends on scheduling or GOMAXPROCS, so the learned vectors
+// are bit-identical across worker counts and runs.
 func Train(seqs [][]int, vocab int, cfg Config) *Model {
 	if vocab <= 0 {
 		panic(fmt.Sprintf("embed: invalid vocab %d", vocab))
@@ -80,24 +111,58 @@ func Train(seqs [][]int, vocab int, cfg Config) *Model {
 
 	table := buildUnigramTable(seqs, vocab, rng)
 
-	totalPairs := 0
-	for _, s := range seqs {
-		totalPairs += len(s)
+	// Flatten (sequence, center) positions; every token is validated once
+	// here so the worker loop can skip bounds panics.
+	var positions []posRef
+	for si, s := range seqs {
+		for _, tok := range s {
+			checkToken(tok, vocab)
+		}
+		for c := range s {
+			positions = append(positions, posRef{seq: int32(si), c: int32(c)})
+		}
 	}
-	totalWork := float64(cfg.Epochs*totalPairs + 1)
-	processed := 0.0
+	total := len(positions)
+	totalWork := float64(cfg.Epochs*total + 1)
 
-	gradIn := make([]float64, cfg.Dim)
+	// Grow-only per-slot delta buffers, reused across batches.
+	maxPairs := (cfg.WindowLeft + cfg.WindowRight) * (1 + cfg.NegSamples)
+	slots := make([]posDelta, batchSize)
+	for i := range slots {
+		slots[i].inDelta = make([]float64, cfg.Dim)
+		slots[i].outRows = make([]int, 0, maxPairs)
+		slots[i].outVals = make([]float64, 0, maxPairs*cfg.Dim)
+	}
+	// Per-row contribution counts for the merge's mini-batch averaging,
+	// with a touched-row list so resetting is O(rows touched).
+	inCount := make([]float64, vocab)
+	outCount := make([]float64, vocab)
+	var touchedIn, touchedOut []int
+
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		for _, seq := range seqs {
-			for c := range seq {
+		for start := 0; start < total; start += batchSize {
+			blen := total - start
+			if blen > batchSize {
+				blen = batchSize
+			}
+			par.ForWorker(blen, func(_, i int) {
+				g := start + i
+				pos := positions[g]
+				// The decay schedule matches the serial SGD formula: lr is
+				// a pure function of the global step, not of scheduling.
+				processed := float64(epoch*total + g)
 				lr := cfg.LR * (1 - processed/totalWork)
 				if lr < cfg.LR*1e-4 {
 					lr = cfg.LR * 1e-4
 				}
-				processed++
-				center := seq[c]
-				checkToken(center, vocab)
+				prng := newPosRNG(cfg.Seed, epoch, g)
+				seq := seqs[pos.seq]
+				c := int(pos.c)
+				slot := &slots[i]
+				slot.center = seq[c]
+				tensor.VecZero(slot.inDelta)
+				slot.outRows = slot.outRows[:0]
+				slot.outVals = slot.outVals[:0]
 				lo := c - cfg.WindowLeft
 				if lo < 0 {
 					lo = 0
@@ -106,46 +171,115 @@ func Train(seqs [][]int, vocab int, cfg Config) *Model {
 				if hi > len(seq)-1 {
 					hi = len(seq) - 1
 				}
-				vIn := m.In.Row(center)
+				vIn := m.In.Row(slot.center)
 				for p := lo; p <= hi; p++ {
 					if p == c {
 						continue
 					}
 					ctx := seq[p]
-					checkToken(ctx, vocab)
-					tensor.VecZero(gradIn)
 					// Positive pair plus NegSamples negatives.
-					trainPair(vIn, m.Out.Row(ctx), 1, lr, gradIn)
+					recordPair(m, slot, vIn, ctx, 1, lr)
 					for n := 0; n < cfg.NegSamples; n++ {
-						neg := table[rng.Intn(len(table))]
+						neg := table[prng.intn(len(table))]
 						if neg == ctx {
 							continue
 						}
-						trainPair(vIn, m.Out.Row(neg), 0, lr, gradIn)
+						recordPair(m, slot, vIn, neg, 0, lr)
 					}
-					tensor.Axpy(1, gradIn, vIn)
+				}
+			})
+			// Deterministic merge: apply deltas in position order, averaged
+			// per row. Every delta in the batch was computed at the
+			// batch-start weights, so summing k same-row updates would take
+			// a k-times-overshot step where serial SGD would have saturated
+			// after the first — with a tiny vocabulary that compounds into
+			// divergence. Dividing each row's merged delta by its
+			// contribution count caps the per-batch step at one SGD step
+			// (the standard mini-batch gradient average, restricted to the
+			// rows actually touched).
+			for i := 0; i < blen; i++ {
+				slot := &slots[i]
+				if inCount[slot.center] == 0 {
+					touchedIn = append(touchedIn, slot.center)
+				}
+				inCount[slot.center]++
+				for _, row := range slot.outRows {
+					if outCount[row] == 0 {
+						touchedOut = append(touchedOut, row)
+					}
+					outCount[row]++
 				}
 			}
+			for i := 0; i < blen; i++ {
+				slot := &slots[i]
+				tensor.Axpy(1/inCount[slot.center], slot.inDelta, m.In.Row(slot.center))
+				for k, row := range slot.outRows {
+					tensor.Axpy(1/outCount[row], slot.outVals[k*cfg.Dim:(k+1)*cfg.Dim], m.Out.Row(row))
+				}
+			}
+			for _, r := range touchedIn {
+				inCount[r] = 0
+			}
+			for _, r := range touchedOut {
+				outCount[r] = 0
+			}
+			touchedIn = touchedIn[:0]
+			touchedOut = touchedOut[:0]
 		}
 	}
 	return m
 }
 
-func checkToken(tok, vocab int) {
-	if tok < 0 || tok >= vocab {
-		panic(fmt.Sprintf("embed: token %d out of vocab %d", tok, vocab))
-	}
-}
-
-// trainPair applies one logistic-regression SGD update for a
-// (center, context, label) triple. It updates the context vector in
-// place and accumulates the center-vector gradient into gradIn.
-func trainPair(vIn, vOut []float64, label float64, lr float64, gradIn []float64) {
+// recordPair computes one logistic-regression SGD step for a
+// (center, context, label) triple against the batch-start weights and
+// records it on the slot instead of applying it: the center-row gradient
+// accumulates into inDelta and the context-row delta is appended to
+// outRows/outVals.
+func recordPair(m *Model, slot *posDelta, vIn []float64, row int, label, lr float64) {
+	vOut := m.Out.Row(row)
 	score := sigmoid(tensor.Dot(vIn, vOut))
 	g := lr * (label - score)
 	for i := range vOut {
-		gradIn[i] += g * vOut[i]
-		vOut[i] += g * vIn[i]
+		slot.inDelta[i] += g * vOut[i]
+		slot.outVals = append(slot.outVals, g*vIn[i])
+	}
+	slot.outRows = append(slot.outRows, row)
+}
+
+// posRNG is a splitmix64 stream seeded per (seed, epoch, position), so a
+// position's negative samples do not depend on which worker runs it.
+type posRNG uint64
+
+func newPosRNG(seed int64, epoch, pos int) posRNG {
+	s := uint64(seed)
+	s = mix64(s + 0x9e3779b97f4a7c15*uint64(epoch+1))
+	s = mix64(s + 0x9e3779b97f4a7c15*uint64(pos+1))
+	return posRNG(s)
+}
+
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+func (r *posRNG) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	return mix64(uint64(*r))
+}
+
+// intn returns a value in [0, n). The modulo bias is negligible for the
+// 2^16-slot unigram table against a 64-bit stream.
+func (r *posRNG) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+func checkToken(tok, vocab int) {
+	if tok < 0 || tok >= vocab {
+		panic(fmt.Sprintf("embed: token %d out of vocab %d", tok, vocab))
 	}
 }
 

@@ -1,0 +1,28 @@
+package embed
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// TestTrainDeterministicAcrossWorkerCounts pins the mini-batch design:
+// the batch partitioning, per-position RNG and merge order are all
+// independent of scheduling, so the learned vectors must be bit-identical
+// no matter how many workers GOMAXPROCS grants.
+func TestTrainDeterministicAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(58))
+	seqs := clusteredCorpus(rng, 120)
+	cfg := DefaultConfig(8)
+	cfg.Epochs = 2
+
+	prev := runtime.GOMAXPROCS(1)
+	one := Train(seqs, 8, cfg)
+	runtime.GOMAXPROCS(4)
+	four := Train(seqs, 8, cfg)
+	runtime.GOMAXPROCS(prev)
+
+	if !one.In.Equals(four.In, 0) || !one.Out.Equals(four.Out, 0) {
+		t.Fatal("embeddings must be bit-identical across worker counts")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"desh/internal/logparse"
 	"desh/internal/metrics"
 	"desh/internal/nn"
+	"desh/internal/par"
 )
 
 // Fig4 renders the per-system prediction rates (paper Figure 4):
@@ -89,19 +90,24 @@ func Fig7(results []*SystemResult) string {
 
 // SensitivityPoint is one point of the Figure-8 tradeoff.
 type SensitivityPoint struct {
-	Threshold   float64
-	MinMatches  int
-	AvgLead     float64
-	FPRate      float64
-	Recall      float64
-	TruePosN    int
-	FalsePosN   int
+	Threshold  float64
+	MinMatches int
+	AvgLead    float64
+	FPRate     float64
+	Recall     float64
+	TruePosN   int
+	FalsePosN  int
 }
 
 // LeadTimeSensitivity sweeps detection leniency and reports the
 // lead-time versus false-positive tradeoff (paper Figure 8): flagging
 // earlier (fewer required matches, looser threshold) buys longer lead
 // times at the cost of more false positives.
+//
+// Every (setting, candidate) re-detection is independent, so the sweep
+// fans the candidates out over a worker pool per setting (one Detector
+// per worker) and folds the per-index verdicts serially — the points are
+// identical to the serial sweep's.
 func LeadTimeSensitivity(result *SystemResult) []SensitivityPoint {
 	type setting struct {
 		threshold  float64
@@ -110,19 +116,28 @@ func LeadTimeSensitivity(result *SystemResult) []SensitivityPoint {
 	settings := []setting{
 		{0.25, 3}, {0.5, 3}, {0.5, 2}, {0.75, 2}, {1.0, 2}, {0.5, 1}, {1.0, 1}, {2.0, 1}, {4.0, 1},
 	}
+	n := len(result.Verdicts)
+	redetected := make([]core.Verdict, n)
+	detectors := make([]*core.Detector, par.Workers(n))
 	var points []SensitivityPoint
 	for _, s := range settings {
+		par.ForWorker(n, func(w, i int) {
+			if detectors[w] == nil {
+				detectors[w] = result.Pipeline.NewDetector()
+			}
+			redetected[i] = detectors[w].DetectWith(result.Verdicts[i].Chain, s.threshold, s.minMatches)
+		})
 		var conf metrics.Confusion
 		var leads []float64
-		for _, v := range result.Verdicts {
-			nv := result.Pipeline.DetectWith(v.Chain, s.threshold, s.minMatches)
+		for i := range result.Verdicts {
+			nv := redetected[i]
 			switch {
-			case nv.Flagged && v.Chain.Terminal:
+			case nv.Flagged && nv.Chain.Terminal:
 				conf.TP++
 				leads = append(leads, nv.LeadSeconds)
-			case nv.Flagged && !v.Chain.Terminal:
+			case nv.Flagged && !nv.Chain.Terminal:
 				conf.FP++
-			case !nv.Flagged && v.Chain.Terminal:
+			case !nv.Flagged && nv.Chain.Terminal:
 				conf.FN++
 			default:
 				conf.TN++

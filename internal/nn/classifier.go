@@ -24,6 +24,20 @@ type SeqClassifier struct {
 	// updates. Desh pre-trains embeddings with skip-gram and fine-tunes
 	// them; set false to freeze pre-trained vectors.
 	TrainEmbed bool
+
+	ws clsWS
+}
+
+// clsWS holds grow-only training buffers for WindowLoss. Like the stack
+// workspace it makes training single-threaded per model; inference
+// fan-out uses per-goroutine Predictors.
+type clsWS struct {
+	xs      [][]float64 // embedding-row views per input step
+	dOut    [][]float64 // per-step slots passed to Stack.Backward
+	dOutBuf [][]float64 // backing buffers for dOut entries
+	logits  []float64
+	dLogits []float64
+	probs   []float64
 }
 
 // NewSeqClassifier builds the Phase-1 architecture. The embedding table
@@ -64,6 +78,22 @@ func (m *SeqClassifier) Params() []*Param {
 	return ps
 }
 
+// growWS sizes the training workspace for a T-step window.
+func (m *SeqClassifier) growWS(T int) {
+	if m.ws.probs == nil {
+		m.ws.probs = make([]float64, m.Vocab)
+		m.ws.logits = make([]float64, m.Vocab)
+		m.ws.dLogits = make([]float64, m.Vocab)
+	}
+	for len(m.ws.dOutBuf) < T {
+		m.ws.dOutBuf = append(m.ws.dOutBuf, make([]float64, m.Stack.HiddenSize()))
+	}
+	for len(m.ws.dOut) < T {
+		m.ws.dOut = append(m.ws.dOut, nil)
+		m.ws.xs = append(m.ws.xs, nil)
+	}
+}
+
 // embed looks up the embedding row for a token (aliased, do not mutate).
 func (m *SeqClassifier) embedRow(tok int) []float64 {
 	if tok < 0 || tok >= m.Vocab {
@@ -86,24 +116,28 @@ func (m *SeqClassifier) WindowLoss(window []int, history, steps int) float64 {
 		panic(fmt.Sprintf("nn: window length %d, want history+steps=%d", len(window), history+steps))
 	}
 	T := history + steps - 1 // inputs fed (teacher forcing)
-	xs := make([][]float64, T)
+	m.growWS(T)
+	xs := m.ws.xs[:T]
 	for t := 0; t < T; t++ {
 		xs[t] = m.embedRow(window[t])
 	}
 	tape := m.Stack.Forward(xs)
 
 	total := 0.0
-	dOut := make([][]float64, T)
-	probs := make([]float64, m.Vocab)
+	dOut := m.ws.dOut[:T]
+	for t := range dOut {
+		dOut[t] = nil
+	}
+	probs := m.ws.probs
 	for t := history - 1; t < T; t++ {
 		target := window[t+1]
-		logits := m.Out.Forward(tape.Outputs[t])
-		loss.Softmax(probs, logits)
+		m.Out.ForwardInto(m.ws.logits, tape.Outputs[t])
+		loss.Softmax(probs, m.ws.logits)
 		total += loss.CrossEntropy(probs, target)
-		dLogits := make([]float64, m.Vocab)
-		loss.SoftmaxCrossEntropyGrad(dLogits, probs, target)
-		tensor.VecScale(dLogits, 1/float64(steps))
-		dOut[t] = m.Out.Backward(tape.Outputs[t], dLogits)
+		loss.SoftmaxCrossEntropyGrad(m.ws.dLogits, probs, target)
+		tensor.VecScale(m.ws.dLogits, 1/float64(steps))
+		m.Out.BackwardInto(m.ws.dOutBuf[t], tape.Outputs[t], m.ws.dLogits)
+		dOut[t] = m.ws.dOutBuf[t]
 	}
 	dxs := m.Stack.Backward(tape, dOut)
 	if m.TrainEmbed {
@@ -133,26 +167,60 @@ func (m *SeqClassifier) NextProbs(history []int) []float64 {
 
 // Predict rolls the model out steps tokens past the history, greedily
 // feeding each argmax prediction back as the next input — the paper's
-// "3-step prediction" inference mode.
+// "3-step prediction" inference mode. This convenience wrapper builds a
+// fresh Predictor per call; hot loops should hold one and reuse it.
 func (m *SeqClassifier) Predict(history []int, steps int) []int {
-	st := m.Stack.NewState()
+	out := m.NewPredictor().Predict(history, steps)
+	return append([]int(nil), out...)
+}
+
+// Predictor is a reusable inference cursor for the Phase-1 classifier:
+// the Figure-10 prediction-cost kernel. All state and scratch live on
+// the predictor, so steady-state Predict calls allocate nothing, and
+// distinct predictors over one model may run concurrently.
+type Predictor struct {
+	m      *SeqClassifier
+	st     *State
+	zeroH  []float64
+	logits []float64
+	probs  []float64
+	out    []int
+}
+
+// NewPredictor allocates an inference cursor for the model.
+func (m *SeqClassifier) NewPredictor() *Predictor {
+	return &Predictor{
+		m:      m,
+		st:     m.Stack.NewState(),
+		zeroH:  make([]float64, m.Stack.HiddenSize()),
+		logits: make([]float64, m.Vocab),
+		probs:  make([]float64, m.Vocab),
+		out:    make([]int, 0, 8),
+	}
+}
+
+// Predict is SeqClassifier.Predict without per-call allocation. The
+// returned slice is owned by the predictor and valid until the next
+// call.
+func (p *Predictor) Predict(history []int, steps int) []int {
+	m := p.m
+	p.st.Reset()
 	var h []float64
 	for _, tok := range history {
-		h = m.Stack.StepInfer(m.embedRow(tok), st)
+		h = m.Stack.StepInfer(m.embedRow(tok), p.st)
 	}
 	if h == nil {
-		h = make([]float64, m.Stack.HiddenSize())
+		h = p.zeroH
 	}
-	out := make([]int, 0, steps)
-	probs := make([]float64, m.Vocab)
+	p.out = p.out[:0]
 	for s := 0; s < steps; s++ {
-		logits := m.Out.Forward(h)
-		loss.Softmax(probs, logits)
-		tok := tensor.ArgMax(probs)
-		out = append(out, tok)
+		m.Out.ForwardInto(p.logits, h)
+		loss.Softmax(p.probs, p.logits)
+		tok := tensor.ArgMax(p.probs)
+		p.out = append(p.out, tok)
 		if s+1 < steps {
-			h = m.Stack.StepInfer(m.embedRow(tok), st)
+			h = m.Stack.StepInfer(m.embedRow(tok), p.st)
 		}
 	}
-	return out
+	return p.out
 }

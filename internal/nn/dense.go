@@ -38,19 +38,32 @@ func (d *Dense) Params() []*Param {
 // Forward computes y = W·x + b into a fresh slice.
 func (d *Dense) Forward(x []float64) []float64 {
 	y := make([]float64, d.OutSize)
-	tensor.MatVecInto(y, d.W.Value, x)
-	tensor.Axpy(1, d.B.Value.Data, y)
+	d.ForwardInto(y, x)
 	return y
+}
+
+// ForwardInto computes dst = W·x + b into a caller-owned buffer — the
+// allocation-free path used by streams and training workspaces. It only
+// reads the layer's weights, so concurrent calls with distinct dst are
+// safe.
+func (d *Dense) ForwardInto(dst, x []float64) {
+	tensor.MatVecBias(dst, d.W.Value, x, d.B.Value.Data)
 }
 
 // Backward accumulates gradients for one (x, dy) pair and returns dx.
 func (d *Dense) Backward(x, dy []float64) []float64 {
+	dx := make([]float64, d.InSize)
+	d.BackwardInto(dx, x, dy)
+	return dx
+}
+
+// BackwardInto is Backward writing the input gradient into a
+// caller-owned buffer.
+func (d *Dense) BackwardInto(dx, x, dy []float64) {
 	if len(x) != d.InSize || len(dy) != d.OutSize {
 		panic(fmt.Sprintf("nn: dense backward lengths %d/%d, want %d/%d", len(x), len(dy), d.InSize, d.OutSize))
 	}
 	tensor.AddOuterScaled(d.W.Grad, dy, x, 1)
 	tensor.Axpy(1, dy, d.B.Grad.Data)
-	dx := make([]float64, d.InSize)
 	tensor.MatTVecInto(dx, d.W.Value, dy)
-	return dx
 }

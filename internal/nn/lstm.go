@@ -50,47 +50,52 @@ func (l *LSTMLayer) Params() []*Param {
 }
 
 // stepCache records the activations of one forward step, everything the
-// matching backward step needs.
+// matching backward step needs, plus the step's outputs. All slices are
+// allocated once (newStepCache) and overwritten on reuse, so a recycled
+// cache costs no heap allocations.
 type stepCache struct {
 	x, hPrev, cPrev []float64
 	i, f, g, o      []float64 // post-nonlinearity gate activations
 	c, tc           []float64 // cell state and tanh(cell state)
+	h               []float64 // hidden output o*tanh(c)
 }
 
-// StepForward advances the layer one timestep. It returns the new hidden
-// and cell states plus a cache for backprop. x must have length InSize;
-// hPrev and cPrev length HiddenSize. Inputs are copied into the cache, so
-// callers may reuse their buffers.
-func (l *LSTMLayer) StepForward(x, hPrev, cPrev []float64) (h, c []float64, cache *stepCache) {
-	H := l.HiddenSize
+// newStepCache allocates a cache sized for one layer geometry.
+func newStepCache(inSize, hidden int) *stepCache {
+	return &stepCache{
+		x:     make([]float64, inSize),
+		hPrev: make([]float64, hidden),
+		cPrev: make([]float64, hidden),
+		i:     make([]float64, hidden),
+		f:     make([]float64, hidden),
+		g:     make([]float64, hidden),
+		o:     make([]float64, hidden),
+		c:     make([]float64, hidden),
+		tc:    make([]float64, hidden),
+		h:     make([]float64, hidden),
+	}
+}
+
+func (l *LSTMLayer) checkStep(x, hPrev, cPrev []float64) {
 	if len(x) != l.InSize {
 		panic(fmt.Sprintf("nn: LSTM input length %d, want %d", len(x), l.InSize))
 	}
-	if len(hPrev) != H || len(cPrev) != H {
-		panic(fmt.Sprintf("nn: LSTM state lengths %d/%d, want %d", len(hPrev), len(cPrev), H))
+	if len(hPrev) != l.HiddenSize || len(cPrev) != l.HiddenSize {
+		panic(fmt.Sprintf("nn: LSTM state lengths %d/%d, want %d", len(hPrev), len(cPrev), l.HiddenSize))
 	}
-	z := make([]float64, 4*H)
-	tensor.MatVecInto(z, l.Wx.Value, x)
-	zh := make([]float64, 4*H)
-	tensor.MatVecInto(zh, l.Wh.Value, hPrev)
-	bias := l.B.Value.Data
-	for j := range z {
-		z[j] += zh[j] + bias[j]
-	}
+}
 
-	cache = &stepCache{
-		x:     tensor.VecCopy(x),
-		hPrev: tensor.VecCopy(hPrev),
-		cPrev: tensor.VecCopy(cPrev),
-		i:     make([]float64, H),
-		f:     make([]float64, H),
-		g:     make([]float64, H),
-		o:     make([]float64, H),
-		c:     make([]float64, H),
-		tc:    make([]float64, H),
-	}
-	h = make([]float64, H)
-	c = make([]float64, H)
+// stepForward advances the layer one timestep into cc, using z (length
+// 4H) as gate pre-activation scratch. Inputs are copied into the cache,
+// so callers may reuse their buffers; the step's outputs are cc.h and
+// cc.c.
+func (l *LSTMLayer) stepForward(cc *stepCache, x, hPrev, cPrev, z []float64) {
+	l.checkStep(x, hPrev, cPrev)
+	H := l.HiddenSize
+	tensor.GateMatVec(z[:4*H], l.Wx.Value, x, l.Wh.Value, hPrev, l.B.Value.Data)
+	copy(cc.x, x)
+	copy(cc.hPrev, hPrev)
+	copy(cc.cPrev, cPrev)
 	for j := 0; j < H; j++ {
 		ij := sigmoid(z[j])
 		fj := sigmoid(z[H+j])
@@ -98,54 +103,88 @@ func (l *LSTMLayer) StepForward(x, hPrev, cPrev []float64) (h, c []float64, cach
 		oj := sigmoid(z[3*H+j])
 		cj := fj*cPrev[j] + ij*gj
 		tcj := math.Tanh(cj)
-		cache.i[j], cache.f[j], cache.g[j], cache.o[j] = ij, fj, gj, oj
-		cache.c[j], cache.tc[j] = cj, tcj
-		c[j] = cj
-		h[j] = oj * tcj
+		cc.i[j], cc.f[j], cc.g[j], cc.o[j] = ij, fj, gj, oj
+		cc.c[j], cc.tc[j] = cj, tcj
+		cc.h[j] = oj * tcj
 	}
-	return h, c, cache
 }
 
-// StepBackward consumes one cached step in reverse order. dh and dc are
+// stepInfer advances the layer one timestep with no cache, updating h and
+// c in place (the Phase-3 streaming path). z is 4H scratch. x must not
+// alias h.
+func (l *LSTMLayer) stepInfer(x, h, c, z []float64) {
+	l.checkStep(x, h, c)
+	H := l.HiddenSize
+	tensor.GateMatVec(z[:4*H], l.Wx.Value, x, l.Wh.Value, h, l.B.Value.Data)
+	for j := 0; j < H; j++ {
+		ij := sigmoid(z[j])
+		fj := sigmoid(z[H+j])
+		gj := math.Tanh(z[2*H+j])
+		oj := sigmoid(z[3*H+j])
+		cj := fj*c[j] + ij*gj
+		c[j] = cj
+		h[j] = oj * math.Tanh(cj)
+	}
+}
+
+// StepForward advances the layer one timestep. It returns the new hidden
+// and cell states plus a cache for backprop. x must have length InSize;
+// hPrev and cPrev length HiddenSize. Inputs are copied into the cache, so
+// callers may reuse their buffers. This convenience wrapper allocates a
+// fresh cache per call; the batched Stack paths recycle caches through an
+// internal arena instead.
+func (l *LSTMLayer) StepForward(x, hPrev, cPrev []float64) (h, c []float64, cache *stepCache) {
+	cc := newStepCache(l.InSize, l.HiddenSize)
+	z := make([]float64, 4*l.HiddenSize)
+	l.stepForward(cc, x, hPrev, cPrev, z)
+	return cc.h, cc.c, cc
+}
+
+// stepBackward consumes one cached step in reverse order. dh and dc are
 // the gradients flowing into this step's hidden and cell outputs (dc may
 // be nil meaning zero). It accumulates weight gradients into the layer's
-// Params and returns the gradients w.r.t. the step's input and incoming
-// states.
-func (l *LSTMLayer) StepBackward(cache *stepCache, dh, dc []float64) (dx, dhPrev, dcPrev []float64) {
+// Params and writes the gradients w.r.t. the step's input and incoming
+// states into dx, dhPrev and dcPrev (overwritten). dz is 4H scratch.
+// dcPrev may alias dc and dhPrev may alias dh: dh/dc are fully consumed
+// element j before element j of the outputs is written.
+func (l *LSTMLayer) stepBackward(cc *stepCache, dh, dc, dz, dx, dhPrev, dcPrev []float64) {
 	H := l.HiddenSize
-	dz := make([]float64, 4*H)
-	dcFull := make([]float64, H)
+	dz = dz[:4*H]
 	for j := 0; j < H; j++ {
 		dcj := 0.0
 		if dc != nil {
 			dcj = dc[j]
 		}
 		// h = o*tanh(c): route dh into the output gate and the cell.
-		doj := dh[j] * cache.tc[j]
-		dcj += dh[j] * cache.o[j] * (1 - cache.tc[j]*cache.tc[j])
-		dcFull[j] = dcj
+		doj := dh[j] * cc.tc[j]
+		dcj += dh[j] * cc.o[j] * (1 - cc.tc[j]*cc.tc[j])
 
-		dij := dcj * cache.g[j]
-		dfj := dcj * cache.cPrev[j]
-		dgj := dcj * cache.i[j]
+		dij := dcj * cc.g[j]
+		dfj := dcj * cc.cPrev[j]
+		dgj := dcj * cc.i[j]
 
-		dz[j] = dij * cache.i[j] * (1 - cache.i[j])
-		dz[H+j] = dfj * cache.f[j] * (1 - cache.f[j])
-		dz[2*H+j] = dgj * (1 - cache.g[j]*cache.g[j])
-		dz[3*H+j] = doj * cache.o[j] * (1 - cache.o[j])
+		dz[j] = dij * cc.i[j] * (1 - cc.i[j])
+		dz[H+j] = dfj * cc.f[j] * (1 - cc.f[j])
+		dz[2*H+j] = dgj * (1 - cc.g[j]*cc.g[j])
+		dz[3*H+j] = doj * cc.o[j] * (1 - cc.o[j])
+		dcPrev[j] = dcj * cc.f[j]
 	}
-
-	tensor.AddOuterScaled(l.Wx.Grad, dz, cache.x, 1)
-	tensor.AddOuterScaled(l.Wh.Grad, dz, cache.hPrev, 1)
+	tensor.GateBackward(dz, l.Wx.Value, l.Wx.Grad, l.Wh.Value, l.Wh.Grad, cc.x, cc.hPrev, dx, dhPrev)
 	tensor.Axpy(1, dz, l.B.Grad.Data)
+}
 
+// StepBackward consumes one cached step in reverse order. dh and dc are
+// the gradients flowing into this step's hidden and cell outputs (dc may
+// be nil meaning zero). It accumulates weight gradients into the layer's
+// Params and returns the gradients w.r.t. the step's input and incoming
+// states. Like StepForward, this wrapper allocates its outputs; Stack
+// backprop reuses buffers through its workspace.
+func (l *LSTMLayer) StepBackward(cache *stepCache, dh, dc []float64) (dx, dhPrev, dcPrev []float64) {
+	H := l.HiddenSize
+	dz := make([]float64, 4*H)
 	dx = make([]float64, l.InSize)
-	tensor.MatTVecInto(dx, l.Wx.Value, dz)
 	dhPrev = make([]float64, H)
-	tensor.MatTVecInto(dhPrev, l.Wh.Value, dz)
 	dcPrev = make([]float64, H)
-	for j := 0; j < H; j++ {
-		dcPrev[j] = dcFull[j] * cache.f[j]
-	}
+	l.stepBackward(cache, dh, dc, dz, dx, dhPrev, dcPrev)
 	return dx, dhPrev, dcPrev
 }

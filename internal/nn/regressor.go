@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"desh/internal/loss"
+	"desh/internal/tensor"
 )
 
 // SeqRegressor is the Phase-2/3 model: it consumes 2-state vectors
@@ -14,10 +15,24 @@ import (
 //
 // Input and output dimensions are independent so callers can feed the
 // LSTM normalized features while regressing differently-scaled targets.
+//
+// Training entry points (WindowLoss, SequenceLoss) share a reusable
+// workspace and are single-threaded per model; concurrent inference must
+// go through per-goroutine Streams.
 type SeqRegressor struct {
 	InDim, OutDim int
 	Stack         *LSTMStack
 	Out           *Dense
+
+	ws regWS
+}
+
+// regWS holds grow-only training buffers, valid within one loss call.
+type regWS struct {
+	pred    []float64
+	dPred   []float64
+	dOut    [][]float64 // per-step slots passed to Stack.Backward
+	dOutBuf [][]float64 // backing buffers for dOut entries
 }
 
 // NewSeqRegressor builds the Phase-2 architecture with equal input and
@@ -45,6 +60,20 @@ func (m *SeqRegressor) Params() []*Param {
 	return append(m.Stack.Params(), m.Out.Params()...)
 }
 
+// growWS sizes the workspace for a T-step sequence.
+func (m *SeqRegressor) growWS(T int) {
+	if m.ws.pred == nil {
+		m.ws.pred = make([]float64, m.OutDim)
+		m.ws.dPred = make([]float64, m.OutDim)
+	}
+	for len(m.ws.dOutBuf) < T {
+		m.ws.dOutBuf = append(m.ws.dOutBuf, make([]float64, m.Stack.HiddenSize()))
+	}
+	for len(m.ws.dOut) < T {
+		m.ws.dOut = append(m.ws.dOut, nil)
+	}
+}
+
 // WindowLoss performs one training pass: the inputs are the context
 // window and target is the 1-step prediction target. Gradients
 // accumulate into Params. Returns the MSE of the prediction.
@@ -55,16 +84,21 @@ func (m *SeqRegressor) WindowLoss(inputs [][]float64, target []float64) float64 
 	if len(target) != m.OutDim {
 		panic(fmt.Sprintf("nn: regressor target length %d, want %d", len(target), m.OutDim))
 	}
+	T := len(inputs)
+	m.growWS(T)
 	tape := m.Stack.Forward(inputs)
-	last := len(inputs) - 1
+	last := T - 1
 	hLast := tape.Outputs[last]
-	pred := m.Out.Forward(hLast)
-	mse := loss.MSE(pred, target)
+	m.Out.ForwardInto(m.ws.pred, hLast)
+	mse := loss.MSE(m.ws.pred, target)
 
-	dPred := make([]float64, m.OutDim)
-	loss.MSEGrad(dPred, pred, target)
-	dOut := make([][]float64, len(inputs))
-	dOut[last] = m.Out.Backward(hLast, dPred)
+	loss.MSEGrad(m.ws.dPred, m.ws.pred, target)
+	dOut := m.ws.dOut[:T]
+	for t := range dOut {
+		dOut[t] = nil
+	}
+	m.Out.BackwardInto(m.ws.dOutBuf[last], hLast, m.ws.dPred)
+	dOut[last] = m.ws.dOutBuf[last]
 	m.Stack.Backward(tape, dOut)
 	return mse
 }
@@ -79,19 +113,21 @@ func (m *SeqRegressor) SequenceLoss(inputs, targets [][]float64) float64 {
 	if len(inputs) == 0 || len(inputs) != len(targets) {
 		panic(fmt.Sprintf("nn: SequenceLoss lengths %d/%d", len(inputs), len(targets)))
 	}
+	T := len(inputs)
+	m.growWS(T)
 	tape := m.Stack.Forward(inputs)
 	total := 0.0
-	dOut := make([][]float64, len(inputs))
-	inv := 1 / float64(len(inputs))
+	dOut := m.ws.dOut[:T]
+	inv := 1 / float64(T)
 	for t := range inputs {
-		pred := m.Out.Forward(tape.Outputs[t])
-		total += loss.MSE(pred, targets[t])
-		dPred := make([]float64, m.OutDim)
-		loss.MSEGrad(dPred, pred, targets[t])
-		for i := range dPred {
-			dPred[i] *= inv
+		m.Out.ForwardInto(m.ws.pred, tape.Outputs[t])
+		total += loss.MSE(m.ws.pred, targets[t])
+		loss.MSEGrad(m.ws.dPred, m.ws.pred, targets[t])
+		for i := range m.ws.dPred {
+			m.ws.dPred[i] *= inv
 		}
-		dOut[t] = m.Out.Backward(tape.Outputs[t], dPred)
+		m.Out.BackwardInto(m.ws.dOutBuf[t], tape.Outputs[t], m.ws.dPred)
+		dOut[t] = m.ws.dOutBuf[t]
 	}
 	m.Stack.Backward(tape, dOut)
 	return total * inv
@@ -113,29 +149,49 @@ func (m *SeqRegressor) PredictNext(window [][]float64) []float64 {
 
 // Stream is a stateful inference cursor over one node's vector sequence
 // (Phase 3 processes each node's log through an identical trained LSTM).
+// A stream owns all its buffers: Step and ScoreNext allocate nothing, and
+// distinct streams over the same model may run concurrently.
 type Stream struct {
-	m  *SeqRegressor
-	st *State
-	h  []float64
+	m     *SeqRegressor
+	st    *State
+	h     []float64
+	pred  []float64
+	score []float64
 }
 
 // NewStream starts a fresh per-node inference stream.
 func (m *SeqRegressor) NewStream() *Stream {
-	return &Stream{m: m, st: m.Stack.NewState()}
+	return &Stream{
+		m:     m,
+		st:    m.Stack.NewState(),
+		pred:  make([]float64, m.OutDim),
+		score: make([]float64, m.OutDim),
+	}
+}
+
+// Reset rewinds the stream to the zero state so it can score a new
+// sequence without reallocating — the worker-pool recycling path.
+func (s *Stream) Reset() {
+	s.st.Reset()
+	s.h = nil
 }
 
 // Step feeds one observed vector and returns the model's prediction for
-// the *next* vector.
+// the *next* vector. The returned slice is owned by the stream and valid
+// until the next Step.
 func (s *Stream) Step(x []float64) []float64 {
 	s.h = s.m.Stack.StepInfer(x, s.st)
-	return s.m.Out.Forward(s.h)
+	s.m.Out.ForwardInto(s.pred, s.h)
+	return s.pred
 }
 
 // ScoreNext returns the MSE between the stream's current next-vector
 // prediction and an observed vector, without advancing the stream.
 func (s *Stream) ScoreNext(observed []float64) float64 {
 	if s.h == nil {
-		return loss.MSE(make([]float64, s.m.OutDim), observed)
+		tensor.VecZero(s.score)
+		return loss.MSE(s.score, observed)
 	}
-	return loss.MSE(s.m.Out.Forward(s.h), observed)
+	s.m.Out.ForwardInto(s.score, s.h)
+	return loss.MSE(s.score, observed)
 }

@@ -113,17 +113,15 @@ func MatTVecInto(dst []float64, a *Matrix, x []float64) {
 	if len(dst) != a.Cols {
 		panic(fmt.Sprintf("tensor: MatTVec dst length %d, want %d", len(dst), a.Cols))
 	}
-	for j := range dst {
-		dst[j] = 0
-	}
+	VecZero(dst)
+	// Accumulate one row of a at a time (axpy4 unrolls element-wise, so
+	// the per-element summation order matches the naive loop exactly).
+	n := a.Cols
 	for i, xi := range x {
 		if xi == 0 {
 			continue
 		}
-		row := a.Data[i*a.Cols : (i+1)*a.Cols]
-		for j, v := range row {
-			dst[j] += xi * v
-		}
+		axpy4(xi, a.Data[i*n:i*n+n], dst)
 	}
 }
 
@@ -133,14 +131,23 @@ func AddOuterScaled(dst *Matrix, x, y []float64, s float64) {
 	if dst.Rows != len(x) || dst.Cols != len(y) {
 		panic(fmt.Sprintf("tensor: AddOuterScaled dst %dx%d, want %dx%d", dst.Rows, dst.Cols, len(x), len(y)))
 	}
+	n := dst.Cols
 	for i, xv := range x {
 		if xv == 0 {
 			continue
 		}
 		f := s * xv
-		row := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
-		for j, yv := range y {
-			row[j] += f * yv
+		row := dst.Data[i*n : i*n+n]
+		yr := y[:n]
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			row[j] += f * yr[j]
+			row[j+1] += f * yr[j+1]
+			row[j+2] += f * yr[j+2]
+			row[j+3] += f * yr[j+3]
+		}
+		for ; j < n; j++ {
+			row[j] += f * yr[j]
 		}
 	}
 }
