@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench
+.PHONY: build test vet race verify bench fuzz run-deshd
 
 build:
 	$(GO) build ./...
@@ -13,9 +13,10 @@ vet:
 
 # The race detector runs over the packages that fan work out to the
 # worker pool (Phase-3 inference, the Figure-8 sweep via experiments'
-# core usage, and mini-batch skip-gram training).
+# core usage, mini-batch skip-gram training) and the sharded streaming
+# engine behind deshd.
 race:
-	$(GO) test -race ./internal/core/... ./internal/embed/...
+	GOMAXPROCS=4 $(GO) test -race ./internal/core/... ./internal/embed/... ./internal/stream/... ./internal/chain/...
 
 # verify is the tier-1 gate: build + full tests, plus vet and the race
 # detector over the concurrent packages.
@@ -25,3 +26,15 @@ verify: build test vet race
 # suite with allocation reporting; results land in bench.txt.
 bench: verify
 	$(GO) test -bench=. -benchmem -count=5 | tee bench.txt
+
+# fuzz exercises the network-facing line parser beyond its committed
+# seed corpus (which `test` already replays as regular cases).
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/logparse/ -fuzz FuzzParseLine -fuzztime $(FUZZTIME)
+
+# run-deshd is the daemon smoke test: generate a log, train a small
+# model, replay the log through deshd, and assert it raises at least
+# one alert, serves non-zero metrics and exits cleanly on SIGINT.
+run-deshd:
+	./scripts/smoke_deshd.sh

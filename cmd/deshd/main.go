@@ -1,0 +1,200 @@
+// Command deshd is Desh's online inference daemon: the streaming
+// counterpart of deshpredict. It loads a model trained by deshtrain,
+// then continuously ingests raw log lines — from stdin or a file
+// (-in), a line-oriented TCP listener (-listen), and/or an HTTP ingest
+// endpoint (-http) — and prints one warning line per predicted node
+// failure as the events arrive, instead of replaying a finished log
+// after the fact.
+//
+// Usage:
+//
+//	deshgen -machine M2 | deshd -model desh.model -http :8080
+//	deshd -model desh.model -listen :4224 -early -idle-flush 5m
+//
+// Warnings go to stdout; operational chatter to stderr. With -http,
+// GET /metrics returns the counter registry as JSON (events ingested
+// and dropped, open chains, alerts fired, per-shard queue depths, and
+// the detect-latency histogram), POST /ingest accepts log lines,
+// GET /healthz reports liveness, and /debug/vars exposes the same
+// counters over expvar. SIGINT/SIGTERM drain every ingested event
+// before exit; -once exits as soon as -in is fully drained (replay
+// mode, used by the Makefile smoke test).
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"desh"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "deshd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	model := flag.String("model", "desh.model", "trained model file (from deshtrain)")
+	in := flag.String("in", "-", `log input: "-" for stdin, a file path, or "" to disable`)
+	listen := flag.String("listen", "", "line-oriented TCP ingest address (e.g. :4224); empty disables")
+	httpAddr := flag.String("http", "", "HTTP address for /metrics, /ingest, /healthz, /debug/vars; empty disables")
+	shards := flag.Int("shards", 0, "per-node state shards (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 1024, "per-shard ingest queue depth")
+	drop := flag.Bool("drop", false, "shed load when a shard queue fills instead of blocking ingest")
+	quiet := flag.Duration("quiet", 2*time.Minute, "per-node alert dedup window in log time (0 disables)")
+	early := flag.Bool("early", false, "raise provisional alerts while a chain is still open")
+	idle := flag.Duration("idle-flush", 0, "score a node's open chain after this much wall-clock silence (0 disables)")
+	window := flag.Int("window", 4096, "per-node open-chain window bound (0 = unbounded)")
+	once := flag.Bool("once", false, "exit after -in reaches EOF and all events drain (replay mode)")
+	flag.Parse()
+
+	mf, err := os.Open(*model)
+	if err != nil {
+		return err
+	}
+	p, err := desh.LoadPredictor(mf)
+	mf.Close()
+	if err != nil {
+		return err
+	}
+
+	opts := []desh.StreamOption{
+		desh.WithQueueDepth(*queue),
+		desh.WithQuietPeriod(*quiet),
+		desh.WithEarlyDetect(*early),
+		desh.WithIdleFlush(*idle),
+		desh.WithMaxOpenWindow(*window),
+	}
+	if *shards > 0 {
+		opts = append(opts, desh.WithShards(*shards))
+	}
+	if *drop {
+		opts = append(opts, desh.WithDropPolicy(desh.StreamDropNewest))
+	}
+	s, err := desh.NewStreamer(p, opts...)
+	if err != nil {
+		return err
+	}
+
+	// Warning printer: runs until Close closes the alert channel, so
+	// every alert from the final drain is still printed before exit.
+	alertsDone := make(chan struct{})
+	go func() {
+		defer close(alertsDone)
+		for a := range s.Alerts() {
+			tag := ""
+			if a.Provisional {
+				tag = " [provisional]"
+			}
+			fmt.Printf("%s%s  in %.1f minutes, node %s located in %s is expected to fail (mse %.3f)\n",
+				a.FlaggedAt.Format("2006-01-02T15:04:05"), tag,
+				a.LeadSeconds/60, a.Node, desh.NodeLocation(a.Node), a.MSE)
+		}
+	}()
+
+	var ln net.Listener
+	if *listen != "" {
+		ln, err = net.Listen("tcp", *listen)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "deshd: TCP ingest on %s\n", ln.Addr())
+		go func() {
+			if err := s.ServeLines(ln); err != nil {
+				fmt.Fprintln(os.Stderr, "deshd: tcp:", err)
+			}
+		}()
+	}
+
+	var srv *http.Server
+	if *httpAddr != "" {
+		start := time.Now()
+		expvar.Publish("deshd", expvar.Func(func() any { return s.SnapshotMetrics() }))
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", s.MetricsHandler())
+		mux.Handle("/ingest", s.IngestHandler())
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_s\":%.0f}\n", time.Since(start).Seconds())
+		})
+		mux.Handle("/debug/vars", expvar.Handler())
+		hln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "deshd: HTTP on %s\n", hln.Addr())
+		srv = &http.Server{Handler: mux}
+		go func() {
+			if err := srv.Serve(hln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "deshd: http:", err)
+			}
+		}()
+	}
+
+	inDone := make(chan error, 1)
+	if *in != "" {
+		var r io.Reader
+		if *in == "-" {
+			r = os.Stdin
+		} else {
+			f, err := os.Open(*in)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			r = f
+		}
+		go func() { inDone <- s.IngestReader(r) }()
+	}
+
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
+	for {
+		select {
+		case sig := <-sigC:
+			fmt.Fprintf(os.Stderr, "deshd: %v, draining\n", sig)
+		case err := <-inDone:
+			if err != nil && !errors.Is(err, desh.ErrStreamClosed) {
+				fmt.Fprintln(os.Stderr, "deshd: ingest:", err)
+			}
+			if !*once {
+				// Input exhausted but listeners stay up; keep serving.
+				inDone = nil
+				continue
+			}
+			fmt.Fprintln(os.Stderr, "deshd: input drained, shutting down")
+		}
+		break
+	}
+
+	if ln != nil {
+		ln.Close()
+	}
+	if err := s.Close(); err != nil {
+		return err
+	}
+	<-alertsDone
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = srv.Shutdown(ctx)
+		cancel()
+	}
+	snap := s.SnapshotMetrics()
+	fmt.Fprintf(os.Stderr,
+		"deshd: ingested %d (safe %d, malformed %d, dropped %d), chains closed %d, alerts fired %d (suppressed %d, undelivered %d), detect p50 %.0fµs p99 %.0fµs\n",
+		snap.Ingested, snap.SafeFiltered, snap.Malformed, snap.Dropped,
+		snap.ChainsClosed, snap.AlertsFired, snap.AlertsSuppressed, snap.AlertsDropped,
+		snap.Detect.P50Micros, snap.Detect.P99Micros)
+	return nil
+}

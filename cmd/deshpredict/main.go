@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"desh"
@@ -35,12 +36,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	data, err := os.ReadFile(*in)
+	f, err := os.Open(*in)
 	if err != nil {
 		fatal(err)
 	}
-	lines := splitLines(string(data))
-	preds, err := p.PredictLines(lines)
+	defer f.Close()
+	preds, err := p.PredictFromReader(f)
 	if err != nil {
 		fatal(err)
 	}
@@ -49,30 +50,16 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "deshpredict: %d warnings\n", len(preds))
 	if *evaluate {
-		conf, leads, err := p.EvaluateLines(lines)
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			fatal(err)
+		}
+		conf, leads, err := p.EvaluateFromReader(f)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "deshpredict: %v\n", conf)
 		fmt.Fprintf(os.Stderr, "deshpredict: leads %v\n", metrics.SummarizeLeads(leads))
 	}
-}
-
-func splitLines(s string) []string {
-	var lines []string
-	start := 0
-	for i := 0; i < len(s); i++ {
-		if s[i] == '\n' {
-			if i > start {
-				lines = append(lines, s[start:i])
-			}
-			start = i + 1
-		}
-	}
-	if start < len(s) {
-		lines = append(lines, s[start:])
-	}
-	return lines
 }
 
 func fatal(err error) {

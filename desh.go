@@ -134,7 +134,12 @@ func (p *Predictor) PredictLines(lines []string) ([]Prediction, error) {
 // returning the Table-6 confusion matrix and the true-positive lead
 // times in seconds.
 func (p *Predictor) EvaluateLines(lines []string) (metrics.Confusion, []float64, error) {
-	events, err := logparse.ParseReader(strings.NewReader(strings.Join(lines, "\n")))
+	return p.EvaluateFromReader(strings.NewReader(strings.Join(lines, "\n")))
+}
+
+// EvaluateFromReader is EvaluateLines over raw log text from r.
+func (p *Predictor) EvaluateFromReader(r io.Reader) (metrics.Confusion, []float64, error) {
+	events, err := logparse.ParseReader(r)
 	if err != nil {
 		return metrics.Confusion{}, nil, err
 	}

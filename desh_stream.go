@@ -1,0 +1,99 @@
+package desh
+
+import (
+	"context"
+	"time"
+
+	"desh/internal/logsim"
+	"desh/internal/stream"
+)
+
+// ErrStreamClosed is returned by a Streamer's ingest entry points after
+// Close (or after its context is canceled).
+var ErrStreamClosed = stream.ErrClosed
+
+// NodeLocation decodes a Cray node id (cA-BcCsSnN) into its spelled-out
+// cabinet/chassis/blade/node location, or "unknown location" when the
+// id does not parse — the streaming counterpart of Prediction.Location.
+func NodeLocation(node string) string {
+	loc, err := logsim.Location(node)
+	if err != nil {
+		return "unknown location"
+	}
+	return loc
+}
+
+// Streamer is the online inference engine: it ingests raw log lines
+// incrementally, maintains per-node failure-chain state across a shard
+// pool, and emits Alerts on a subscriber channel — the serving-layer
+// counterpart of the batch PredictFromReader. See NewStreamer.
+type Streamer = stream.Streamer
+
+// Alert is one live impending-failure warning from a Streamer.
+type Alert = stream.Alert
+
+// StreamOption tunes a Streamer (see the With* constructors).
+type StreamOption = stream.Option
+
+// StreamMetrics is a point-in-time view of a Streamer's counters.
+type StreamMetrics = stream.MetricsSnapshot
+
+// Queue-full policies for WithDropPolicy.
+const (
+	// StreamBlock applies backpressure on a full shard queue.
+	StreamBlock = stream.Block
+	// StreamDropNewest sheds the incoming event on a full shard queue.
+	StreamDropNewest = stream.DropNewest
+)
+
+// NewStreamer turns a trained predictor into an online inference
+// engine. Feed it lines (IngestLine, IngestReader, ServeLines or the
+// HTTP ingest handler) and range over Alerts():
+//
+//	s, _ := desh.NewStreamer(p, desh.WithEarlyDetect(true))
+//	go s.IngestReader(tail)
+//	for a := range s.Alerts() {
+//	    fmt.Printf("node %s predicted to fail in %.1f min\n", a.Node, a.LeadSeconds/60)
+//	}
+//
+// The predictor's labeler and encoder are shared with the streamer and
+// must not be mutated (Override, batch Predict/Train) while it runs.
+// Close drains all ingested events and then closes the alert channel.
+func NewStreamer(p *Predictor, opts ...StreamOption) (*Streamer, error) {
+	return stream.New(p.pipeline, opts...)
+}
+
+// WithShards sets how many per-node state shards run inference
+// concurrently (default GOMAXPROCS).
+func WithShards(n int) StreamOption { return stream.WithShards(n) }
+
+// WithQueueDepth bounds each shard's ingest queue (default 1024).
+func WithQueueDepth(n int) StreamOption { return stream.WithQueueDepth(n) }
+
+// WithDropPolicy selects the full-queue behavior: StreamBlock
+// (backpressure, default) or StreamDropNewest (shed load, memory flat).
+func WithDropPolicy(p stream.Policy) StreamOption { return stream.WithPolicy(p) }
+
+// WithAlertBuffer sizes the alert subscriber channel (default 256).
+func WithAlertBuffer(n int) StreamOption { return stream.WithAlertBuffer(n) }
+
+// WithQuietPeriod suppresses repeat alerts per node until this much log
+// time has passed (default 2m; 0 disables dedup).
+func WithQuietPeriod(d time.Duration) StreamOption { return stream.WithQuietPeriod(d) }
+
+// WithMaxOpenWindow bounds each node's open chain window (default 4096;
+// 0 = unbounded, exact batch parity).
+func WithMaxOpenWindow(n int) StreamOption { return stream.WithMaxOpenWindow(n) }
+
+// WithEarlyDetect raises provisional alerts while a chain is still
+// open — ahead of the node's terminal message — using the model's
+// predicted lead time.
+func WithEarlyDetect(on bool) StreamOption { return stream.WithEarlyDetect(on) }
+
+// WithIdleFlush closes a node's open episode after d of wall-clock
+// silence so a node that dies mid-chain still gets scored (0 disables).
+func WithIdleFlush(d time.Duration) StreamOption { return stream.WithIdleFlush(d) }
+
+// WithStreamContext ties the streamer's lifetime to ctx: cancellation
+// triggers the same graceful drain as Close.
+func WithStreamContext(ctx context.Context) StreamOption { return stream.WithContext(ctx) }

@@ -1,0 +1,135 @@
+package chain
+
+import (
+	"fmt"
+	"time"
+
+	"desh/internal/catalog"
+	"desh/internal/label"
+	"desh/internal/logparse"
+)
+
+// Tracker is the incremental counterpart of Episodes: it segments one
+// node's event stream into episodes as events arrive, one Feed call per
+// event, instead of requiring the whole slice up front. It is the
+// chain-formation substrate of the streaming subsystem — a per-node
+// shard feeds its events through a Tracker and scores each closed chain
+// the moment it closes.
+//
+// Feeding a node's full event stream through Feed followed by one Flush
+// yields exactly the chains FromEpisode produces for Episodes over the
+// same slice (pinned by TestTrackerMatchesEpisodes), except when a
+// MaxOpen window bound is set and an episode outgrows it.
+//
+// A Tracker is not safe for concurrent use; shards own theirs
+// exclusively.
+type Tracker struct {
+	node string
+	lab  *label.Labeler
+	cfg  Config
+
+	// maxOpen bounds the open episode: when set (> 0) and the window is
+	// full, the oldest event is dropped before appending. 0 = unbounded,
+	// which matches batch Episodes exactly.
+	maxOpen int
+
+	cur []logparse.EncodedEvent
+	// last is the time of the previous non-Safe event, whether or not it
+	// was flushed into an earlier episode — Episodes measures gaps over
+	// the Safe-filtered stream, not within the current burst.
+	last    time.Time
+	hasLast bool
+	dropped int64
+}
+
+// NewTracker builds an incremental segmenter for one node's events.
+// maxOpen > 0 bounds the open-episode window (oldest events are dropped
+// when it is full); 0 keeps the window unbounded for batch parity.
+func NewTracker(node string, lab *label.Labeler, cfg Config, maxOpen int) (*Tracker, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if maxOpen < 0 {
+		return nil, fmt.Errorf("chain: maxOpen must be >= 0, got %d", maxOpen)
+	}
+	if maxOpen > 0 && maxOpen < cfg.MinLen {
+		return nil, fmt.Errorf("chain: maxOpen %d below MinLen %d", maxOpen, cfg.MinLen)
+	}
+	return &Tracker{node: node, lab: lab, cfg: cfg, maxOpen: maxOpen}, nil
+}
+
+// Node returns the node this tracker segments.
+func (t *Tracker) Node() string { return t.node }
+
+// OpenLen returns the number of events in the open episode.
+func (t *Tracker) OpenLen() int { return len(t.cur) }
+
+// Dropped returns how many events the MaxOpen window bound has evicted.
+func (t *Tracker) Dropped() int64 { return t.dropped }
+
+// Feed ingests one event and returns any chains it closed, in closing
+// order. Safe-labeled events are ignored (the §3.1 "Safe phrases are
+// eliminated" step). A single Feed can close up to two chains: a gap
+// past MaxGap closes the previous episode before the event is appended,
+// and a terminal event closes the episode it just joined. Episodes
+// shorter than MinLen are discarded silently, as in batch Episodes.
+func (t *Tracker) Feed(ev logparse.EncodedEvent) ([]Chain, error) {
+	if ev.Node != t.node {
+		return nil, fmt.Errorf("chain: tracker for %s fed event from %s", t.node, ev.Node)
+	}
+	if t.lab.Label(ev.Key) == catalog.Safe {
+		return nil, nil
+	}
+	var closed []Chain
+	if t.hasLast && ev.Time.Sub(t.last) > t.cfg.MaxGap {
+		if c, ok := t.flush(false); ok {
+			closed = append(closed, c)
+		}
+	}
+	t.last = ev.Time
+	t.hasLast = true
+	if t.maxOpen > 0 && len(t.cur) == t.maxOpen {
+		copy(t.cur, t.cur[1:])
+		t.cur = t.cur[:len(t.cur)-1]
+		t.dropped++
+	}
+	t.cur = append(t.cur, ev)
+	if t.lab.IsTerminal(ev.Key) {
+		if c, ok := t.flush(true); ok {
+			closed = append(closed, c)
+		}
+	}
+	return closed, nil
+}
+
+// Flush closes the open episode as a non-terminal candidate — the
+// end-of-stream step batch Episodes performs with its final
+// flush(false). It returns false when the open episode is shorter than
+// MinLen (and was discarded) or empty.
+func (t *Tracker) Flush() (Chain, bool) {
+	return t.flush(false)
+}
+
+// OpenChain returns the ΔT-annotated view of the open episode anchored
+// at its most recent event — the provisional chain the early-detect
+// path scores before the episode closes. ok is false while the episode
+// is shorter than MinLen. The returned chain copies the window, so it
+// remains valid after further Feed calls.
+func (t *Tracker) OpenChain() (Chain, bool) {
+	if len(t.cur) < t.cfg.MinLen {
+		return Chain{}, false
+	}
+	return FromEpisode(Episode{Node: t.node, Events: t.cur, Terminal: false}), true
+}
+
+func (t *Tracker) flush(terminal bool) (Chain, bool) {
+	if len(t.cur) < t.cfg.MinLen {
+		t.cur = t.cur[:0]
+		return Chain{}, false
+	}
+	c := FromEpisode(Episode{Node: t.node, Events: t.cur, Terminal: terminal})
+	// FromEpisode copies into fresh Entries, so the window buffer can be
+	// reused for the next episode.
+	t.cur = t.cur[:0]
+	return c, true
+}

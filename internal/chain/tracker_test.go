@@ -1,0 +1,218 @@
+package chain
+
+import (
+	"math"
+	"testing"
+
+	"desh/internal/label"
+	"desh/internal/logparse"
+	"desh/internal/logsim"
+)
+
+// feedAll runs a node's events through a fresh tracker and returns the
+// closed chains plus the final flush, mirroring one batch Episodes run.
+func feedAll(t *testing.T, node string, events []logparse.EncodedEvent, cfg Config, maxOpen int) []Chain {
+	t.Helper()
+	tr, err := NewTracker(node, label.New(), cfg, maxOpen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chains []Chain
+	for _, e := range events {
+		closed, err := tr.Feed(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chains = append(chains, closed...)
+	}
+	if c, ok := tr.Flush(); ok {
+		chains = append(chains, c)
+	}
+	return chains
+}
+
+// chainsEqual compares two chains field by field.
+func chainsEqual(a, b Chain) bool {
+	if a.Node != b.Node || a.Terminal != b.Terminal || !a.FailTime.Equal(b.FailTime) || len(a.Entries) != len(b.Entries) {
+		return false
+	}
+	for i := range a.Entries {
+		x, y := a.Entries[i], b.Entries[i]
+		if x.ID != y.ID || x.Key != y.Key || !x.Time.Equal(y.Time) || math.Abs(x.DeltaT-y.DeltaT) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTrackerMatchesEpisodes pins the batch/incremental equivalence on a
+// full generated machine run: for every node, feeding events one at a
+// time through a Tracker yields exactly the chains Episodes+FromEpisode
+// produce over the node's whole slice.
+func TestTrackerMatchesEpisodes(t *testing.T) {
+	run, err := logsim.Generate(logsim.Config{
+		Profile: logsim.Profiles()[1], Nodes: 60, Hours: 72, Failures: 50, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed []logparse.Event
+	for _, ge := range run.Events {
+		pe, err := logparse.ParseLine(ge.Line())
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed = append(parsed, pe)
+	}
+	var enc logparse.Encoder
+	byNode := logparse.ByNode(logparse.EncodeEvents(&enc, parsed))
+	lab := label.New()
+	cfg := DefaultConfig()
+	checkedChains := 0
+	for node, events := range byNode {
+		eps, err := Episodes(events, lab, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []Chain
+		for _, ep := range eps {
+			want = append(want, FromEpisode(ep))
+		}
+		got := feedAll(t, node, events, cfg, 0)
+		if len(got) != len(want) {
+			t.Fatalf("node %s: tracker closed %d chains, batch %d", node, len(got), len(want))
+		}
+		for i := range want {
+			if !chainsEqual(got[i], want[i]) {
+				t.Fatalf("node %s chain %d diverges:\n got %+v\nwant %+v", node, i, got[i], want[i])
+			}
+		}
+		checkedChains += len(want)
+	}
+	if checkedChains < 50 {
+		t.Fatalf("only %d chains checked; generated run too quiet", checkedChains)
+	}
+}
+
+func TestTrackerGapThenTerminalClosesTwo(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinLen = 1
+	tr, err := NewTracker("n", label.New(), cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := func(e logparse.EncodedEvent) []Chain {
+		t.Helper()
+		closed, err := tr.Feed(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return closed
+	}
+	feed(ev("n", "DVS: Verify Filesystem *", 1, 0))
+	feed(ev("n", "LustreError: * failed md_getattr err *", 2, 10))
+	// Long gap, and the arriving event is itself terminal: one Feed must
+	// close the stale candidate AND the new single-event terminal chain.
+	closed := feed(ev("n", "cb_node_unavailable *", 3, 700))
+	if len(closed) != 2 {
+		t.Fatalf("closed %d chains, want 2", len(closed))
+	}
+	if closed[0].Terminal || !closed[1].Terminal {
+		t.Fatalf("terminal flags wrong: %v %v", closed[0].Terminal, closed[1].Terminal)
+	}
+	if tr.OpenLen() != 0 {
+		t.Fatalf("open window not empty after terminal: %d", tr.OpenLen())
+	}
+}
+
+func TestTrackerIgnoresSafeAndWrongNode(t *testing.T) {
+	tr, err := NewTracker("n", label.New(), DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed, err := tr.Feed(ev("n", "Setting flag", 0, 0)) // Safe phrase
+	if err != nil || len(closed) != 0 || tr.OpenLen() != 0 {
+		t.Fatalf("safe event must be ignored: %v %v %d", closed, err, tr.OpenLen())
+	}
+	if _, err := tr.Feed(ev("other", "DVS: Verify Filesystem *", 1, 0)); err == nil {
+		t.Fatal("wrong-node feed must error")
+	}
+}
+
+func TestTrackerMaxOpenSlides(t *testing.T) {
+	cfg := DefaultConfig()
+	tr, err := NewTracker("n", label.New(), cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{
+		"DVS: Verify Filesystem *",
+		"LustreError: * failed md_getattr err *",
+		"Trap invalid code * Error *",
+		"Out of memory: Killed process *",
+		"DVS: Verify Filesystem *",
+		"LustreError: * failed md_getattr err *",
+	}
+	for i, k := range keys {
+		if _, err := tr.Feed(ev("n", k, i+1, float64(i*10))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.OpenLen() != 4 {
+		t.Fatalf("window length %d, want 4", tr.OpenLen())
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped %d, want 2", tr.Dropped())
+	}
+	c, ok := tr.Flush()
+	if !ok {
+		t.Fatal("flush must yield the bounded window")
+	}
+	if c.Entries[0].ID != 3 || c.Entries[3].ID != 6 {
+		t.Fatalf("window slid wrong: ids %d..%d", c.Entries[0].ID, c.Entries[3].ID)
+	}
+}
+
+func TestTrackerOpenChainAnchor(t *testing.T) {
+	tr, err := NewTracker("n", label.New(), DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := []float64{0, 10, 25}
+	keys := []string{
+		"DVS: Verify Filesystem *",
+		"LustreError: * failed md_getattr err *",
+		"Out of memory: Killed process *",
+	}
+	for i := range keys {
+		if _, err := tr.Feed(ev("n", keys[i], i+1, times[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, ok := tr.OpenChain()
+	if !ok {
+		t.Fatal("open chain must be available at MinLen")
+	}
+	if c.Entries[0].DeltaT != 25 || c.Entries[2].DeltaT != 0 {
+		t.Fatalf("open chain ΔTs %v %v; anchor must be the latest event", c.Entries[0].DeltaT, c.Entries[2].DeltaT)
+	}
+	// The snapshot must survive further feeds.
+	if _, err := tr.Feed(ev("n", keys[0], 1, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Entries[0].DeltaT != 25 {
+		t.Fatal("OpenChain snapshot aliased the live window")
+	}
+}
+
+func TestTrackerRejectsBadConfig(t *testing.T) {
+	if _, err := NewTracker("n", label.New(), Config{MaxGap: 0, MinLen: 1}, 0); err == nil {
+		t.Fatal("invalid config must be rejected")
+	}
+	if _, err := NewTracker("n", label.New(), DefaultConfig(), -1); err == nil {
+		t.Fatal("negative maxOpen must be rejected")
+	}
+	if _, err := NewTracker("n", label.New(), DefaultConfig(), 2); err == nil {
+		t.Fatal("maxOpen below MinLen must be rejected")
+	}
+}

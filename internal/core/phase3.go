@@ -28,6 +28,12 @@ type Verdict struct {
 	// at the flagging point (paper §3.3: "if a failure is flagged after
 	// checking P3 we get 2.5 minutes lead time").
 	LeadSeconds float64
+	// PredLeadSeconds is the model-predicted ΔT (seconds until the
+	// terminal event) of the observation matched at the flagging point.
+	// Unlike LeadSeconds it does not require knowing the chain's anchor,
+	// so it is the lead time the streaming early-detect path reports for
+	// chains that are still open.
+	PredLeadSeconds float64
 	// MinMSE is the smallest next-sample MSE observed over the sequence.
 	MinMSE float64
 	// Chain is the underlying candidate sequence; Chain.Terminal is the
@@ -180,6 +186,7 @@ func (d *Detector) DetectWith(c chain.Chain, threshold float64, minMatches int) 
 				v.Flagged = true
 				v.FlagIndex = i + 1
 				v.LeadSeconds = c.Entries[i+1].DeltaT
+				v.PredLeadSeconds = d.predRaw[0] * 60
 			}
 		} else {
 			consecutive = 0

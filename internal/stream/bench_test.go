@@ -1,0 +1,70 @@
+package stream
+
+import (
+	"testing"
+
+	"desh/internal/logsim"
+)
+
+// benchLines renders the benchmark-scale run (60 nodes, 96 h, seed 31 —
+// the same workload BENCH_PR1 used for Fig4) into raw log lines.
+func benchLines(b *testing.B) []string {
+	b.Helper()
+	run, err := generatedRun(logsim.Profiles()[2], 60, 96, 40, 31)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lines := make([]string, len(run.Events))
+	for i, ge := range run.Events {
+		lines[i] = ge.Line()
+	}
+	return lines
+}
+
+// BenchmarkStreamerIngest measures the sustained online serving rate:
+// raw line in → parse → encode → shard hop → incremental chain update →
+// Phase-3 detection on episode close. One op is one ingested line; the
+// log replays in a loop with a fresh streamer per pass (Close/drain
+// cost is included, amortized over the full log). Reported extras:
+// events/sec and the detect-latency histogram's p50/p99 in µs.
+func BenchmarkStreamerIngest(b *testing.B) {
+	p := trainedPipeline(b)
+	lines := benchLines(b)
+	var (
+		s       *Streamer
+		drained func() []Alert
+	)
+	restart := func() {
+		if s != nil {
+			if err := s.Close(); err != nil {
+				b.Fatal(err)
+			}
+			drained()
+		}
+		var err error
+		s, err = New(p, WithQuietPeriod(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, drained = collectAlerts(s)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%len(lines) == 0 {
+			restart()
+		}
+		if err := s.IngestLine(lines[i%len(lines)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	drained()
+	b.StopTimer()
+	snap := s.SnapshotMetrics()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(snap.Detect.P50Micros, "detect-p50-µs")
+	b.ReportMetric(snap.Detect.P99Micros, "detect-p99-µs")
+}

@@ -1,0 +1,108 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+)
+
+// IngestReader tails r line by line into the streamer until EOF, an
+// unrecoverable read error, or Close. Malformed lines are counted in
+// Metrics.Malformed and skipped — a daemon must survive garbage on its
+// ingest socket — so the only errors returned are ErrClosed and reader
+// failures.
+func (s *Streamer) IngestReader(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		if err := s.IngestLine(sc.Text()); errors.Is(err, ErrClosed) {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("stream: read: %w", err)
+	}
+	return nil
+}
+
+// ServeLines accepts line-oriented TCP connections on ln — the `nc
+// host port < node.log` ingest format — feeding every line through the
+// streamer. Each connection gets its own goroutine; per-shard queue
+// bounds still apply, so a burst on one connection cannot grow memory.
+// ServeLines returns when ln is closed or the streamer shuts down, and
+// only after every connection goroutine has finished.
+func (s *Streamer) ServeLines(ln net.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return nil
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			// Unblock the read when the streamer shuts down mid-stream.
+			connDone := make(chan struct{})
+			defer close(connDone)
+			go func() {
+				select {
+				case <-s.done:
+					conn.Close()
+				case <-connDone:
+				}
+			}()
+			_ = s.IngestReader(conn)
+		}()
+	}
+}
+
+// IngestHandler returns the HTTP ingest endpoint: POST a body of
+// newline-separated raw log lines. Responds 202 with the number of
+// events accepted this request, 503 once the streamer is closed.
+func (s *Streamer) IngestHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST log lines", http.StatusMethodNotAllowed)
+			return
+		}
+		before := s.met.Ingested.Load()
+		err := s.IngestReader(r.Body)
+		switch {
+		case errors.Is(err, ErrClosed):
+			http.Error(w, "streamer closed", http.StatusServiceUnavailable)
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusAccepted)
+			fmt.Fprintf(w, "{\"ingested\":%d}\n", s.met.Ingested.Load()-before)
+		}
+	})
+}
+
+// MetricsHandler returns the observability endpoint: a JSON
+// MetricsSnapshot (counters, alert stats, per-shard queue depths and
+// the detect-latency histogram).
+func (s *Streamer) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.SnapshotMetrics())
+	})
+}

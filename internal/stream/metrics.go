@@ -1,0 +1,150 @@
+package stream
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of latency buckets: bucket i counts
+// observations with ceil(log2(µs)) == i, i.e. exponentially wider
+// buckets from 1µs up to ~2s, with the last bucket as overflow.
+const histBuckets = 22
+
+// Histogram is a lock-free fixed-bucket latency histogram. All methods
+// are safe for concurrent use; the zero value is ready.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	sumNs  atomic.Int64
+	n      atomic.Int64
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	i := bits.Len64(uint64(ns / 1000))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.counts[i].Add(1)
+	h.sumNs.Add(ns)
+	h.n.Add(1)
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// Mean returns the mean sample duration (0 with no samples).
+func (h *Histogram) Mean() time.Duration {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNs.Load() / n)
+}
+
+// Quantile returns an upper bound on the q-quantile sample: the upper
+// edge of the bucket containing it. q outside (0,1] is clamped.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0.5
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(n))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.counts[i].Load()
+		if seen >= target {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}
+
+// bucketUpper returns the upper edge of bucket i in duration units:
+// bucket 0 is <= 1µs, bucket i is <= 2^i µs.
+func bucketUpper(i int) time.Duration {
+	return time.Duration(int64(1)<<uint(i)) * time.Microsecond
+}
+
+// HistogramSnapshot is the JSON view of a Histogram.
+type HistogramSnapshot struct {
+	Count      int64   `json:"count"`
+	MeanMicros float64 `json:"mean_us"`
+	P50Micros  float64 `json:"p50_us"`
+	P90Micros  float64 `json:"p90_us"`
+	P99Micros  float64 `json:"p99_us"`
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count:      h.Count(),
+		MeanMicros: float64(h.Mean()) / float64(time.Microsecond),
+		P50Micros:  float64(h.Quantile(0.50)) / float64(time.Microsecond),
+		P90Micros:  float64(h.Quantile(0.90)) / float64(time.Microsecond),
+		P99Micros:  float64(h.Quantile(0.99)) / float64(time.Microsecond),
+	}
+}
+
+// Metrics is the streamer's counter registry. Counters are atomic and
+// safe to read while the streamer runs; they only ever increase (except
+// ChainsOpen, a gauge).
+type Metrics struct {
+	// Ingested counts successfully parsed events accepted by the ingest
+	// entry points (before Safe filtering).
+	Ingested atomic.Int64
+	// Malformed counts lines ParseLine rejected.
+	Malformed atomic.Int64
+	// SafeFiltered counts events discarded as Safe-labeled at ingest.
+	SafeFiltered atomic.Int64
+	// Dropped counts events shed by the DropNewest queue policy.
+	Dropped atomic.Int64
+	// ChainsOpen is a gauge: nodes currently holding an open episode.
+	ChainsOpen atomic.Int64
+	// ChainsClosed counts episodes closed and scored.
+	ChainsClosed atomic.Int64
+	// WindowEvicted counts events evicted by the per-node open-window
+	// bound (MaxOpenWindow).
+	WindowEvicted atomic.Int64
+	// AlertsFired counts alerts emitted (including ones the subscriber
+	// channel had to drop).
+	AlertsFired atomic.Int64
+	// AlertsSuppressed counts alerts withheld by the quiet-period dedup.
+	AlertsSuppressed atomic.Int64
+	// AlertsDropped counts fired alerts discarded because the subscriber
+	// channel was full.
+	AlertsDropped atomic.Int64
+	// Detect is the per-event shard processing latency (chain tracking +
+	// detection).
+	Detect Histogram
+}
+
+// MetricsSnapshot is a point-in-time JSON view of the registry plus
+// per-shard queue depths.
+type MetricsSnapshot struct {
+	Ingested         int64             `json:"ingested"`
+	Malformed        int64             `json:"malformed"`
+	SafeFiltered     int64             `json:"safe_filtered"`
+	Dropped          int64             `json:"dropped"`
+	ChainsOpen       int64             `json:"chains_open"`
+	ChainsClosed     int64             `json:"chains_closed"`
+	WindowEvicted    int64             `json:"window_evicted"`
+	AlertsFired      int64             `json:"alerts_fired"`
+	AlertsSuppressed int64             `json:"alerts_suppressed"`
+	AlertsDropped    int64             `json:"alerts_dropped"`
+	QueueDepths      []int             `json:"queue_depths"`
+	Detect           HistogramSnapshot `json:"detect_latency"`
+}

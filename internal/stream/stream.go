@@ -1,0 +1,576 @@
+// Package stream is Desh's online serving layer: it turns the batch
+// Phase-3 pipeline into a continuously running inference engine over an
+// unbounded log stream. Raw lines are parsed and encoded as they
+// arrive, routed by node id to one of N state shards, incrementally
+// segmented into failure-chain candidates (chain.Tracker), and scored
+// by each shard's private core.Detector the moment a chain closes —
+// or, with early detection enabled, while it is still open. Flagged
+// chains become Alerts on a subscriber channel, deduplicated per node
+// by a quiet-period state machine.
+//
+// Shards own their state exclusively (one goroutine each), so inference
+// is lock-free across nodes; bounded ingest queues with an explicit
+// Block/DropNewest policy keep memory flat under burst load; Close
+// drains every queue, flushes open episodes, and closes the alert
+// channel, losing no already-ingested event.
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"time"
+
+	"desh/internal/catalog"
+	"desh/internal/chain"
+	"desh/internal/core"
+	"desh/internal/label"
+	"desh/internal/logparse"
+)
+
+// ErrClosed is returned by ingest entry points after Close.
+var ErrClosed = errors.New("stream: streamer is closed")
+
+// Alert is one impending-failure warning emitted on the subscriber
+// channel.
+type Alert struct {
+	// Node is the Cray node id the failure is predicted on.
+	Node string
+	// LeadSeconds is the predicted time remaining until the failure.
+	// For alerts from closed chains it is the paper's lead time (ΔT of
+	// the observation at the flagging point); for provisional alerts it
+	// is the model-predicted ΔT, since the chain has no anchor yet.
+	LeadSeconds float64
+	// FlaggedAt is the log timestamp at which the failure was flagged.
+	FlaggedAt time.Time
+	// MSE is the smallest next-sample MSE observed over the chain.
+	MSE float64
+	// Provisional marks early-detect alerts raised on a still-open
+	// chain, ahead of the authoritative closed-chain verdict.
+	Provisional bool
+}
+
+// Policy selects what a full shard queue does to an incoming event.
+type Policy int
+
+const (
+	// Block applies backpressure: the ingest call waits for queue room.
+	// Right for file replay and pipes, where the producer can stall.
+	Block Policy = iota
+	// DropNewest sheds load: the incoming event is counted in
+	// Metrics.Dropped and discarded. Right for live listeners that must
+	// never stall their peers; memory stays flat under burst.
+	DropNewest
+)
+
+// Options tunes a Streamer. The zero value is not valid; use New with
+// Option setters.
+type Options struct {
+	// Shards is the number of per-node state shards (default
+	// GOMAXPROCS). Nodes hash onto shards, so inference parallelism is
+	// min(Shards, active nodes).
+	Shards int
+	// QueueDepth bounds each shard's ingest queue (default 1024).
+	QueueDepth int
+	// Policy is the full-queue behavior (default Block).
+	Policy Policy
+	// AlertBuffer sizes the subscriber channel (default 256). When the
+	// subscriber falls this far behind, further alerts are dropped and
+	// counted rather than stalling inference.
+	AlertBuffer int
+	// QuietPeriod suppresses repeat alerts for a node until this much
+	// log time has passed since its last alert (default 2m). 0 disables
+	// dedup entirely.
+	QuietPeriod time.Duration
+	// MaxOpenWindow bounds each node's open episode; oldest events are
+	// evicted beyond it (default 4096, 0 = unbounded). Bounding keeps a
+	// pathologically chatty node from growing state without limit, at
+	// the cost of exact batch parity on episodes longer than the bound.
+	MaxOpenWindow int
+	// EarlyDetect scores the open episode on every appended event and
+	// raises a provisional alert the first time it crosses the Phase-3
+	// threshold — before the chain closes, which is where the streaming
+	// lead time comes from. Off by default (batch-parity mode).
+	EarlyDetect bool
+	// IdleFlush closes a node's open episode after this much wall-clock
+	// silence from that node (default 0 = disabled). A node that dies
+	// without a terminal message stops logging; this is how its last
+	// episode still gets scored promptly.
+	IdleFlush time.Duration
+
+	ctx context.Context
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// WithShards sets the shard count.
+func WithShards(n int) Option { return func(o *Options) { o.Shards = n } }
+
+// WithQueueDepth sets the per-shard queue bound.
+func WithQueueDepth(n int) Option { return func(o *Options) { o.QueueDepth = n } }
+
+// WithPolicy sets the full-queue policy.
+func WithPolicy(p Policy) Option { return func(o *Options) { o.Policy = p } }
+
+// WithAlertBuffer sets the subscriber channel capacity.
+func WithAlertBuffer(n int) Option { return func(o *Options) { o.AlertBuffer = n } }
+
+// WithQuietPeriod sets the per-node alert dedup window (0 disables).
+func WithQuietPeriod(d time.Duration) Option { return func(o *Options) { o.QuietPeriod = d } }
+
+// WithMaxOpenWindow bounds the per-node open episode (0 = unbounded).
+func WithMaxOpenWindow(n int) Option { return func(o *Options) { o.MaxOpenWindow = n } }
+
+// WithEarlyDetect toggles provisional alerts on open chains.
+func WithEarlyDetect(on bool) Option { return func(o *Options) { o.EarlyDetect = on } }
+
+// WithIdleFlush closes open episodes after d of wall-clock node
+// silence (0 disables).
+func WithIdleFlush(d time.Duration) Option { return func(o *Options) { o.IdleFlush = d } }
+
+// WithContext ties the streamer's lifetime to ctx: cancellation
+// triggers the same graceful drain as Close.
+func WithContext(ctx context.Context) Option { return func(o *Options) { o.ctx = ctx } }
+
+func defaultOptions() Options {
+	return Options{
+		Shards:        runtime.GOMAXPROCS(0),
+		QueueDepth:    1024,
+		Policy:        Block,
+		AlertBuffer:   256,
+		QuietPeriod:   2 * time.Minute,
+		MaxOpenWindow: 4096,
+	}
+}
+
+// Streamer is an online inference engine over a trained pipeline. All
+// ingest entry points are safe for concurrent use.
+type Streamer struct {
+	p    *core.Pipeline
+	opts Options
+	lab  *label.Labeler
+
+	encMu sync.RWMutex
+	enc   *logparse.Encoder
+
+	shards []*shard
+	alerts chan Alert
+	met    Metrics
+
+	mu     sync.RWMutex // guards closed against in-flight ingests
+	closed bool
+	done   chan struct{}
+	wg     sync.WaitGroup // shard goroutines
+	bgWG   sync.WaitGroup // idle-flush / context watchers
+}
+
+// New builds a streamer over a trained pipeline. The pipeline's
+// labeler and encoder are shared with the streamer and must not be
+// mutated (Override, batch Predict) while it runs.
+func New(p *core.Pipeline, options ...Option) (*Streamer, error) {
+	if p.Phase2Model() == nil {
+		return nil, fmt.Errorf("stream: pipeline is not trained")
+	}
+	opts := defaultOptions()
+	for _, o := range options {
+		o(&opts)
+	}
+	if opts.Shards < 1 {
+		return nil, fmt.Errorf("stream: Shards must be >= 1, got %d", opts.Shards)
+	}
+	if opts.QueueDepth < 1 {
+		return nil, fmt.Errorf("stream: QueueDepth must be >= 1, got %d", opts.QueueDepth)
+	}
+	if opts.AlertBuffer < 1 {
+		return nil, fmt.Errorf("stream: AlertBuffer must be >= 1, got %d", opts.AlertBuffer)
+	}
+	if opts.QuietPeriod < 0 || opts.IdleFlush < 0 || opts.MaxOpenWindow < 0 {
+		return nil, fmt.Errorf("stream: negative duration or window option")
+	}
+	chainCfg := p.Config().ChainCfg
+	if opts.MaxOpenWindow > 0 && opts.MaxOpenWindow < chainCfg.MinLen {
+		return nil, fmt.Errorf("stream: MaxOpenWindow %d below chain MinLen %d", opts.MaxOpenWindow, chainCfg.MinLen)
+	}
+	s := &Streamer{
+		p:      p,
+		opts:   opts,
+		lab:    p.Labeler(),
+		enc:    p.Encoder(),
+		alerts: make(chan Alert, opts.AlertBuffer),
+		done:   make(chan struct{}),
+	}
+	s.shards = make([]*shard, opts.Shards)
+	for i := range s.shards {
+		sh := &shard{
+			s:     s,
+			id:    i,
+			ch:    make(chan logparse.EncodedEvent, opts.QueueDepth),
+			det:   p.NewDetector(),
+			nodes: make(map[string]*nodeState),
+		}
+		if opts.IdleFlush > 0 {
+			sh.flushC = make(chan time.Time, 1)
+		}
+		s.shards[i] = sh
+		s.wg.Add(1)
+		go sh.run()
+	}
+	if opts.IdleFlush > 0 {
+		s.bgWG.Add(1)
+		go s.idleFlushLoop()
+	}
+	if opts.ctx != nil {
+		ctx := opts.ctx
+		// Deliberately not in bgWG: this goroutine calls Close, which
+		// waits on bgWG — tracking it there would deadlock. It always
+		// exits once done closes, whichever path closed it.
+		go func() {
+			select {
+			case <-ctx.Done():
+				_ = s.Close()
+			case <-s.done:
+			}
+		}()
+	}
+	return s, nil
+}
+
+// Alerts returns the subscriber channel. It is closed by Close after
+// every shard has drained, so ranging over it observes every alert.
+func (s *Streamer) Alerts() <-chan Alert { return s.alerts }
+
+// Metrics returns the live counter registry.
+func (s *Streamer) Metrics() *Metrics { return &s.met }
+
+// SnapshotMetrics captures the counters plus per-shard queue depths.
+func (s *Streamer) SnapshotMetrics() MetricsSnapshot {
+	snap := MetricsSnapshot{
+		Ingested:         s.met.Ingested.Load(),
+		Malformed:        s.met.Malformed.Load(),
+		SafeFiltered:     s.met.SafeFiltered.Load(),
+		Dropped:          s.met.Dropped.Load(),
+		ChainsOpen:       s.met.ChainsOpen.Load(),
+		ChainsClosed:     s.met.ChainsClosed.Load(),
+		WindowEvicted:    s.met.WindowEvicted.Load(),
+		AlertsFired:      s.met.AlertsFired.Load(),
+		AlertsSuppressed: s.met.AlertsSuppressed.Load(),
+		AlertsDropped:    s.met.AlertsDropped.Load(),
+		Detect:           s.met.Detect.Snapshot(),
+	}
+	snap.QueueDepths = make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		snap.QueueDepths[i] = len(sh.ch)
+	}
+	return snap
+}
+
+// IngestLine parses one raw log line and routes it. Malformed lines are
+// counted and reported but do not affect streamer state. Blank lines
+// are ignored.
+func (s *Streamer) IngestLine(line string) error {
+	if isBlank(line) {
+		return nil
+	}
+	ev, err := logparse.ParseLine(line)
+	if err != nil {
+		s.met.Malformed.Add(1)
+		return err
+	}
+	return s.IngestEvent(ev)
+}
+
+// IngestEvent routes one parsed event to its node's shard.
+func (s *Streamer) IngestEvent(ev logparse.Event) error {
+	// The RLock pins "not closed" for the duration of the call: Close
+	// takes the write lock, so it cannot close the shard channels while
+	// any send is in flight — which is what makes "every event counted
+	// in Ingested is processed" an exact invariant.
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.met.Ingested.Add(1)
+	// The §3.1 Safe filter runs before the queue so bursts of benign
+	// chatter never consume queue slots or shard time.
+	if s.lab.Label(ev.Key) == catalog.Safe {
+		s.met.SafeFiltered.Add(1)
+		return nil
+	}
+	enc := logparse.EncodedEvent{Event: ev, ID: s.encodeKey(ev.Key)}
+	sh := s.shards[s.shardOf(ev.Node)]
+	if s.opts.Policy == Block {
+		sh.ch <- enc
+		return nil
+	}
+	select {
+	case sh.ch <- enc:
+	default:
+		s.met.Dropped.Add(1)
+	}
+	return nil
+}
+
+// Close stops ingest, drains every shard queue, flushes open episodes
+// (scoring them as end-of-stream candidates, exactly like the batch
+// path's final flush), closes the Alerts channel and returns. It is
+// idempotent; concurrent ingest calls return ErrClosed.
+func (s *Streamer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.done)
+	for _, sh := range s.shards {
+		close(sh.ch)
+	}
+	s.wg.Wait()
+	s.bgWG.Wait()
+	close(s.alerts)
+	return nil
+}
+
+// encodeKey assigns or looks up the phrase id for key. The encoder is
+// shared with the pipeline, so assignment takes a write lock; the hot
+// path (known phrase) is a read lock.
+func (s *Streamer) encodeKey(key string) int {
+	s.encMu.RLock()
+	id, ok := s.enc.Lookup(key)
+	s.encMu.RUnlock()
+	if ok {
+		return id
+	}
+	s.encMu.Lock()
+	id = s.enc.Encode(key)
+	s.encMu.Unlock()
+	return id
+}
+
+func (s *Streamer) shardOf(node string) int {
+	h := fnv.New32a()
+	h.Write([]byte(node))
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+func (s *Streamer) idleFlushLoop() {
+	defer s.bgWG.Done()
+	period := s.opts.IdleFlush / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case now := <-t.C:
+			for _, sh := range s.shards {
+				select {
+				case sh.flushC <- now:
+				default: // shard busy; next tick will retry
+				}
+			}
+		}
+	}
+}
+
+func isBlank(line string) bool {
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case ' ', '\t', '\r', '\n':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// shard owns a partition of the node space: its goroutine is the only
+// one touching its trackers, detector and per-node alert state, so the
+// hot path takes no locks.
+type shard struct {
+	s      *Streamer
+	id     int
+	ch     chan logparse.EncodedEvent
+	flushC chan time.Time // nil unless IdleFlush is enabled
+	det    *core.Detector
+	nodes  map[string]*nodeState
+}
+
+// nodeState is one node's streaming state: its incremental chain
+// tracker plus the alert-dedup state machine.
+type nodeState struct {
+	tracker *chain.Tracker
+	// lastArrival is the wall-clock time the node's latest event was
+	// processed — the idle-flush trigger.
+	lastArrival time.Time
+	// alerted/lastAlertAt implement the quiet-period dedup: after an
+	// alert fires, further alerts are suppressed until the node's log
+	// time advances past lastAlertAt+QuietPeriod (re-arming).
+	alerted     bool
+	lastAlertAt time.Time
+	// openAlerted pins "exactly once per incident" for provisional
+	// alerts: set when the open episode raises one, cleared when the
+	// episode closes.
+	openAlerted bool
+	wasOpen     bool
+	evicted     int64 // tracker.Dropped at last sync
+}
+
+func (sh *shard) run() {
+	defer sh.s.wg.Done()
+	if sh.flushC == nil {
+		for ev := range sh.ch {
+			sh.handle(ev)
+		}
+	} else {
+	loop:
+		for {
+			select {
+			case ev, ok := <-sh.ch:
+				if !ok {
+					break loop
+				}
+				sh.handle(ev)
+			case now := <-sh.flushC:
+				sh.idleFlush(now)
+			}
+		}
+	}
+	sh.drain()
+}
+
+// state returns (building on demand) the node's streaming state.
+func (sh *shard) state(node string) *nodeState {
+	ns, ok := sh.nodes[node]
+	if !ok {
+		tr, err := chain.NewTracker(node, sh.s.lab, sh.s.p.Config().ChainCfg, sh.s.opts.MaxOpenWindow)
+		if err != nil {
+			// Config was validated in New; this cannot happen.
+			panic(fmt.Sprintf("stream: tracker for %s: %v", node, err))
+		}
+		ns = &nodeState{tracker: tr}
+		sh.nodes[node] = ns
+	}
+	return ns
+}
+
+func (sh *shard) handle(ev logparse.EncodedEvent) {
+	start := time.Now()
+	ns := sh.state(ev.Node)
+	closed, err := ns.tracker.Feed(ev)
+	if err != nil {
+		// Unreachable: events are routed to trackers by node.
+		sh.s.met.Malformed.Add(1)
+		return
+	}
+	for _, c := range closed {
+		ns.openAlerted = false
+		sh.judge(ns, c)
+	}
+	if d := ns.tracker.Dropped(); d != ns.evicted {
+		sh.s.met.WindowEvicted.Add(d - ns.evicted)
+		ns.evicted = d
+	}
+	sh.syncOpenGauge(ns)
+	if sh.s.opts.EarlyDetect && !ns.openAlerted {
+		if c, ok := ns.tracker.OpenChain(); ok {
+			if v := sh.det.Detect(c); v.Flagged {
+				ns.openAlerted = true
+				sh.emit(ns, Alert{
+					Node:        c.Node,
+					LeadSeconds: v.PredLeadSeconds,
+					FlaggedAt:   ev.Time,
+					MSE:         v.MinMSE,
+					Provisional: true,
+				})
+			}
+		}
+	}
+	ns.lastArrival = start
+	sh.s.met.Detect.Observe(time.Since(start))
+}
+
+// judge scores a closed chain and emits an alert when it is flagged —
+// the streaming equivalent of one batch Predict verdict.
+func (sh *shard) judge(ns *nodeState, c chain.Chain) {
+	sh.s.met.ChainsClosed.Add(1)
+	v := sh.det.Detect(c)
+	if !v.Flagged {
+		return
+	}
+	sh.emit(ns, Alert{
+		Node:        v.Node,
+		LeadSeconds: v.LeadSeconds,
+		FlaggedAt:   v.AnchorTime,
+		MSE:         v.MinMSE,
+	})
+}
+
+// emit runs the dedup state machine and delivers the alert without ever
+// blocking the shard: a full subscriber channel drops the alert and
+// counts it.
+func (sh *shard) emit(ns *nodeState, a Alert) {
+	q := sh.s.opts.QuietPeriod
+	if q > 0 && ns.alerted && a.FlaggedAt.Sub(ns.lastAlertAt) < q {
+		sh.s.met.AlertsSuppressed.Add(1)
+		return
+	}
+	ns.alerted = true
+	ns.lastAlertAt = a.FlaggedAt
+	sh.s.met.AlertsFired.Add(1)
+	select {
+	case sh.s.alerts <- a:
+	default:
+		sh.s.met.AlertsDropped.Add(1)
+	}
+}
+
+func (sh *shard) syncOpenGauge(ns *nodeState) {
+	open := ns.tracker.OpenLen() > 0
+	if open != ns.wasOpen {
+		if open {
+			sh.s.met.ChainsOpen.Add(1)
+		} else {
+			sh.s.met.ChainsOpen.Add(-1)
+		}
+		ns.wasOpen = open
+	}
+}
+
+// idleFlush closes episodes on nodes that have been silent (in wall
+// time) longer than IdleFlush — the path by which a node that dies
+// without a terminal message still gets its final episode scored.
+func (sh *shard) idleFlush(now time.Time) {
+	for _, ns := range sh.nodes {
+		if ns.tracker.OpenLen() == 0 || now.Sub(ns.lastArrival) < sh.s.opts.IdleFlush {
+			continue
+		}
+		ns.openAlerted = false
+		if c, ok := ns.tracker.Flush(); ok {
+			sh.judge(ns, c)
+		}
+		sh.syncOpenGauge(ns)
+	}
+}
+
+// drain is the graceful-shutdown tail: the queue is already empty, so
+// flush every open episode and score it, exactly like the batch path's
+// end-of-input flush.
+func (sh *shard) drain() {
+	for _, ns := range sh.nodes {
+		ns.openAlerted = false
+		if c, ok := ns.tracker.Flush(); ok {
+			sh.judge(ns, c)
+		}
+		sh.syncOpenGauge(ns)
+	}
+}
