@@ -13,10 +13,10 @@ vet:
 
 # The race detector runs over the packages that fan work out to the
 # worker pool (Phase-3 inference, the Figure-8 sweep via experiments'
-# core usage, mini-batch skip-gram training) and the sharded streaming
-# engine behind deshd.
+# core usage, mini-batch skip-gram training), the sharded streaming
+# engine behind deshd, and its crash-recovery substrate.
 race:
-	GOMAXPROCS=4 $(GO) test -race ./internal/core/... ./internal/embed/... ./internal/stream/... ./internal/chain/...
+	GOMAXPROCS=4 $(GO) test -race ./internal/core/... ./internal/embed/... ./internal/stream/... ./internal/chain/... ./internal/persist/...
 
 # verify is the tier-1 gate: build + full tests, plus vet and the race
 # detector over the concurrent packages.

@@ -58,6 +58,8 @@ func run() error {
 	idle := flag.Duration("idle-flush", 0, "score a node's open chain after this much wall-clock silence (0 disables)")
 	window := flag.Int("window", 4096, "per-node open-chain window bound (0 = unbounded)")
 	once := flag.Bool("once", false, "exit after -in reaches EOF and all events drain (replay mode)")
+	stateDir := flag.String("state-dir", "", "crash-recovery state directory (snapshots + WAL); empty disables persistence")
+	snapEvery := flag.Duration("snapshot-every", 30*time.Second, "period between state snapshots (with -state-dir)")
 	flag.Parse()
 
 	mf, err := os.Open(*model)
@@ -83,9 +85,16 @@ func run() error {
 	if *drop {
 		opts = append(opts, desh.WithDropPolicy(desh.StreamDropNewest))
 	}
+	if *stateDir != "" {
+		opts = append(opts, desh.WithStateDir(*stateDir), desh.WithSnapshotEvery(*snapEvery))
+		fmt.Fprintf(os.Stderr, "deshd: crash recovery enabled, state in %s\n", *stateDir)
+	}
 	s, err := desh.NewStreamer(p, opts...)
 	if err != nil {
 		return err
+	}
+	if replayed := s.SnapshotMetrics().ReplayedEvents; replayed > 0 {
+		fmt.Fprintf(os.Stderr, "deshd: recovered %d events from the WAL tail\n", replayed)
 	}
 
 	// Warning printer: runs until Close closes the alert channel, so
@@ -134,7 +143,9 @@ func run() error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "deshd: HTTP on %s\n", hln.Addr())
-		srv = &http.Server{Handler: mux}
+		// ReadHeaderTimeout keeps a peer that opens a connection and never
+		// finishes its headers from pinning a handler goroutine forever.
+		srv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 		go func() {
 			if err := srv.Serve(hln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "deshd: http:", err)
@@ -192,9 +203,9 @@ func run() error {
 	}
 	snap := s.SnapshotMetrics()
 	fmt.Fprintf(os.Stderr,
-		"deshd: ingested %d (safe %d, malformed %d, dropped %d), chains closed %d, alerts fired %d (suppressed %d, undelivered %d), detect p50 %.0fµs p99 %.0fµs\n",
-		snap.Ingested, snap.SafeFiltered, snap.Malformed, snap.Dropped,
+		"deshd: ingested %d (safe %d, malformed %d, oversized %d, dropped %d, quarantined %d), chains closed %d, alerts fired %d (suppressed %d, undelivered %d), shard restarts %d, detect p50 %.0fµs p99 %.0fµs\n",
+		snap.Ingested, snap.SafeFiltered, snap.Malformed, snap.Oversized, snap.Dropped, snap.Quarantined,
 		snap.ChainsClosed, snap.AlertsFired, snap.AlertsSuppressed, snap.AlertsDropped,
-		snap.Detect.P50Micros, snap.Detect.P99Micros)
+		snap.ShardRestarts, snap.Detect.P50Micros, snap.Detect.P99Micros)
 	return nil
 }

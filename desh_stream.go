@@ -97,3 +97,39 @@ func WithIdleFlush(d time.Duration) StreamOption { return stream.WithIdleFlush(d
 // WithStreamContext ties the streamer's lifetime to ctx: cancellation
 // triggers the same graceful drain as Close.
 func WithStreamContext(ctx context.Context) StreamOption { return stream.WithContext(ctx) }
+
+// WithStateDir enables crash-safe operation: per-node state snapshots
+// and a write-ahead log of ingested events live in dir, and NewStreamer
+// recovers from them — restored open chains, alert-dedup state and a
+// WAL tail replay — before accepting new events. Empty (the default)
+// disables persistence.
+func WithStateDir(dir string) StreamOption { return stream.WithStateDir(dir) }
+
+// WithSnapshotEvery sets the period between state snapshots (default
+// 30s). Between snapshots, recovery replays the WAL tail.
+func WithSnapshotEvery(d time.Duration) StreamOption { return stream.WithSnapshotEvery(d) }
+
+// WithWALSyncEvery sets the write-ahead log's fsync cadence in records
+// (default 64): a killed process loses nothing, an OS crash loses at
+// most this many events.
+func WithWALSyncEvery(n int) StreamOption { return stream.WithWALSyncEvery(n) }
+
+// WithMaxEventRetries sets how many shard panics one event may cause
+// before it is quarantined as poisoned (default 3).
+func WithMaxEventRetries(n int) StreamOption { return stream.WithMaxEventRetries(n) }
+
+// WithRestartBackoff sets the base delay before a panicked shard
+// restarts; it doubles per consecutive crash, jittered, capped at 1s
+// (default 10ms).
+func WithRestartBackoff(d time.Duration) StreamOption { return stream.WithRestartBackoff(d) }
+
+// WithMaxConns caps concurrent ServeLines connections; excess accepts
+// are counted and closed (default 256).
+func WithMaxConns(n int) StreamOption { return stream.WithMaxConns(n) }
+
+// WithConnIdleTimeout drops a ServeLines connection that delivers
+// nothing for d (default 5m; 0 disables).
+func WithConnIdleTimeout(d time.Duration) StreamOption { return stream.WithConnIdleTimeout(d) }
+
+// WithMaxBodyBytes bounds one HTTP ingest request body (default 8 MiB).
+func WithMaxBodyBytes(n int64) StreamOption { return stream.WithMaxBodyBytes(n) }

@@ -122,6 +122,39 @@ func (t *Tracker) OpenChain() (Chain, bool) {
 	return FromEpisode(Episode{Node: t.node, Events: t.cur, Terminal: false}), true
 }
 
+// TrackerState is the serializable state of a Tracker — what the
+// streaming layer's crash-recovery snapshots persist per node. Open
+// holds the in-progress episode; Last/HasLast carry the gap-detection
+// cursor; Dropped is the window-eviction count.
+type TrackerState struct {
+	Open    []logparse.EncodedEvent
+	Last    time.Time
+	HasLast bool
+	Dropped int64
+}
+
+// Snapshot captures the tracker's state. The returned state owns its
+// event slice, so it stays valid across further Feed calls.
+func (t *Tracker) Snapshot() TrackerState {
+	return TrackerState{
+		Open:    append([]logparse.EncodedEvent(nil), t.cur...),
+		Last:    t.last,
+		HasLast: t.hasLast,
+		Dropped: t.dropped,
+	}
+}
+
+// Restore overwrites the tracker's state with a previous Snapshot —
+// the recovery half: a fresh Tracker (same node, labeler, config)
+// restored from a snapshot continues exactly where the snapshotted one
+// stopped. The state's events are copied in.
+func (t *Tracker) Restore(st TrackerState) {
+	t.cur = append(t.cur[:0], st.Open...)
+	t.last = st.Last
+	t.hasLast = st.HasLast
+	t.dropped = st.Dropped
+}
+
 func (t *Tracker) flush(terminal bool) (Chain, bool) {
 	if len(t.cur) < t.cfg.MinLen {
 		t.cur = t.cur[:0]

@@ -216,3 +216,80 @@ func TestTrackerRejectsBadConfig(t *testing.T) {
 		t.Fatal("maxOpen below MinLen must be rejected")
 	}
 }
+
+// TestTrackerSnapshotRestoreContinues pins the crash-recovery contract:
+// snapshotting a tracker at an arbitrary point and restoring into a
+// fresh tracker yields exactly the chains an uninterrupted run closes,
+// for every split point of a real generated node stream.
+func TestTrackerSnapshotRestoreContinues(t *testing.T) {
+	run, err := logsim.Generate(logsim.Config{
+		Profile: logsim.Profiles()[1], Nodes: 6, Hours: 48, Failures: 8, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed []logparse.Event
+	for _, ge := range run.Events {
+		pe, err := logparse.ParseLine(ge.Line())
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed = append(parsed, pe)
+	}
+	var enc logparse.Encoder
+	byNode := logparse.ByNode(logparse.EncodeEvents(&enc, parsed))
+	cfg := DefaultConfig()
+	lab := label.New()
+	checked := 0
+	for node, events := range byNode {
+		want := feedAll(t, node, events, cfg, 0)
+		for _, frac := range []int{4, 2, 1} { // splits at 1/4, 1/2, all
+			cut := len(events) - len(events)/frac
+			a, err := NewTracker(node, lab, cfg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []Chain
+			for _, e := range events[:cut] {
+				closed, err := a.Feed(e)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, closed...)
+			}
+			b, err := NewTracker(node, lab, cfg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Restore(a.Snapshot())
+			// Mutating the original tracker after the snapshot must not
+			// bleed into the restored one.
+			a.Flush()
+			for _, e := range events[cut:] {
+				closed, err := b.Feed(e)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, closed...)
+			}
+			if c, ok := b.Flush(); ok {
+				got = append(got, c)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("node %s cut %d: %d chains vs %d uninterrupted", node, cut, len(got), len(want))
+			}
+			for i := range want {
+				if !chainsEqual(got[i], want[i]) {
+					t.Fatalf("node %s cut %d chain %d diverges", node, cut, i)
+				}
+			}
+			if b.Dropped() != a.Dropped() && cut == len(events) {
+				t.Fatalf("dropped counter not restored")
+			}
+		}
+		checked++
+	}
+	if checked < 4 {
+		t.Fatalf("only %d nodes checked", checked)
+	}
+}

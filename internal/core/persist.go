@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -9,7 +11,20 @@ import (
 	"desh/internal/label"
 	"desh/internal/logparse"
 	"desh/internal/nn"
+	"desh/internal/persist"
 	"desh/internal/tensor"
+)
+
+// Model files are framed so a truncated copy, a bit-rotted disk or a
+// newer format fails loudly instead of loading garbage weights:
+// an 8-byte magic, a format-version byte, a CRC32 of the payload, then
+// the gob payload. Files written before the header existed (bare gob)
+// still load via a legacy fallback.
+const (
+	modelMagic = "DESHMODL"
+	// modelVersion is bumped when savedPipeline changes incompatibly.
+	modelVersion   = 1
+	modelHeaderLen = len(modelMagic) + 1 + 4
 )
 
 // savedPipeline is the gob wire format of a trained pipeline. Gradients
@@ -42,16 +57,45 @@ func (p *Pipeline) Save(w io.Writer) error {
 	if p.emb != nil {
 		s.Embed = p.emb.In
 	}
-	if err := gob.NewEncoder(w).Encode(&s); err != nil {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&s); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	hdr := make([]byte, 0, modelHeaderLen)
+	hdr = append(hdr, modelMagic...)
+	hdr = append(hdr, modelVersion)
+	hdr = binary.LittleEndian.AppendUint32(hdr, persist.Checksum(payload.Bytes()))
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
 		return fmt.Errorf("core: save: %w", err)
 	}
 	return nil
 }
 
-// Load deserializes a pipeline previously written by Save.
+// Load deserializes a pipeline previously written by Save. Headerless
+// files from before the format was versioned still load; damaged or
+// future-version files fail with a message naming the fix.
 func Load(r io.Reader) (*Pipeline, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	payload := data
+	if len(data) >= modelHeaderLen && string(data[:len(modelMagic)]) == modelMagic {
+		version := data[len(modelMagic)]
+		if version != modelVersion {
+			return nil, fmt.Errorf("core: load: model format version %d, this build reads %d — retrain with deshtrain", version, modelVersion)
+		}
+		sum := binary.LittleEndian.Uint32(data[len(modelMagic)+1:])
+		payload = data[modelHeaderLen:]
+		if persist.Checksum(payload) != sum {
+			return nil, fmt.Errorf("core: load: model payload checksum mismatch (file damaged) — retrain with deshtrain")
+		}
+	}
 	var s savedPipeline
-	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&s); err != nil {
 		return nil, fmt.Errorf("core: load: %w", err)
 	}
 	if err := s.Cfg.Validate(); err != nil {

@@ -66,3 +66,47 @@ func TestLoadGarbageFails(t *testing.T) {
 		t.Fatal("expected decode error")
 	}
 }
+
+func TestModelHeaderFraming(t *testing.T) {
+	_, events := generateParsed(t, pickProfile(3), 30, 48, 30, 52)
+	p, err := New(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Train(events[:len(events)/4]); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if string(data[:len(modelMagic)]) != modelMagic {
+		t.Fatal("saved model lacks magic header")
+	}
+
+	// Pre-header files (bare gob payload) still load.
+	if _, err := Load(bytes.NewReader(data[modelHeaderLen:])); err != nil {
+		t.Fatalf("legacy headerless load: %v", err)
+	}
+
+	// A future format version fails with a message naming the fix, not a
+	// gob decode error.
+	future := append([]byte(nil), data...)
+	future[len(modelMagic)] = 99
+	if _, err := Load(bytes.NewReader(future)); err == nil || !strings.Contains(err.Error(), "deshtrain") {
+		t.Fatalf("future version: %v", err)
+	}
+
+	// A flipped payload byte is caught by the checksum.
+	damaged := append([]byte(nil), data...)
+	damaged[len(damaged)-1] ^= 0xff
+	if _, err := Load(bytes.NewReader(damaged)); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("damaged payload: %v", err)
+	}
+
+	// The intact file round-trips.
+	if _, err := Load(bytes.NewReader(data)); err != nil {
+		t.Fatalf("intact load: %v", err)
+	}
+}

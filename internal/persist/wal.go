@@ -1,0 +1,369 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"desh/internal/persist/faultfs"
+)
+
+// WAL segment framing: files named wal-<first seq>.log hold
+// length-prefixed records
+//
+//	uint32 payload length | uint32 CRC32-C of payload | payload
+//
+// Sequence numbers are implicit — a record's seq is the segment's base
+// plus its index — so segments are self-describing and rotation at a
+// snapshot boundary starts a fresh file named by the next seq.
+const (
+	walPrefix    = "wal-"
+	walSuffix    = ".log"
+	walHeaderLen = 8
+	// MaxRecord bounds one WAL record; anything larger in a length
+	// prefix marks corruption, not a real record.
+	MaxRecord = 16 << 20
+)
+
+// DefaultSegmentBytes is the rotation threshold for WAL segments
+// between snapshots.
+const DefaultSegmentBytes = 64 << 20
+
+// WAL is the append side of the write-ahead log. Appends are
+// serialized internally and written through to the OS on every record
+// (a process kill loses nothing); fsync happens every SyncEvery
+// records and on Rotate/Close, so an OS crash loses at most the last
+// SyncEvery records.
+type WAL struct {
+	fs  faultfs.FS
+	dir string
+
+	mu        sync.Mutex
+	f         faultfs.File
+	w         *bufio.Writer
+	seq       uint64 // next sequence number to assign
+	segBytes  int64
+	maxBytes  int64
+	syncEvery int
+	unsynced  int
+	closed    bool
+}
+
+func segPath(dir string, base uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016d%s", walPrefix, base, walSuffix))
+}
+
+// segBase parses a segment filename into its base seq.
+func segBase(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, walPrefix) || !strings.HasSuffix(name, walSuffix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, walPrefix), walSuffix), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// listSegments returns segment bases in ascending order.
+func listSegments(fsys faultfs.FS, dir string) ([]uint64, error) {
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var bases []uint64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if b, ok := segBase(e.Name()); ok {
+			bases = append(bases, b)
+		}
+	}
+	sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+	return bases, nil
+}
+
+// OpenWAL starts a new segment whose first record will carry startSeq.
+// syncEvery <= 0 means fsync on every record; maxSegmentBytes <= 0
+// uses DefaultSegmentBytes.
+func OpenWAL(fsys faultfs.FS, dir string, startSeq uint64, syncEvery int, maxSegmentBytes int64) (*WAL, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: wal dir: %w", err)
+	}
+	if syncEvery <= 0 {
+		syncEvery = 1
+	}
+	if maxSegmentBytes <= 0 {
+		maxSegmentBytes = DefaultSegmentBytes
+	}
+	w := &WAL{fs: fsys, dir: dir, seq: startSeq, syncEvery: syncEvery, maxBytes: maxSegmentBytes}
+	if err := w.openSegment(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *WAL) openSegment() error {
+	f, err := w.fs.OpenFile(segPath(w.dir, w.seq), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: wal segment: %w", err)
+	}
+	w.f = f
+	w.w = bufio.NewWriterSize(f, 32*1024)
+	w.segBytes = 0
+	return nil
+}
+
+// Append frames and writes one record, returning its sequence number.
+// The record reaches the OS before Append returns.
+func (w *WAL) Append(payload []byte) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, fmt.Errorf("persist: wal is closed")
+	}
+	if len(payload) > MaxRecord {
+		return 0, fmt.Errorf("persist: wal record %d bytes exceeds MaxRecord", len(payload))
+	}
+	var hdr [walHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], Checksum(payload))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		return 0, err
+	}
+	// Flush through to the OS: a killed process loses nothing already
+	// appended; fsync cadence below covers machine crashes.
+	if err := w.w.Flush(); err != nil {
+		return 0, err
+	}
+	seq := w.seq
+	w.seq++
+	w.segBytes += int64(walHeaderLen + len(payload))
+	w.unsynced++
+	if w.unsynced >= w.syncEvery {
+		if err := w.f.Sync(); err != nil {
+			return seq, err
+		}
+		w.unsynced = 0
+	}
+	if w.segBytes >= w.maxBytes {
+		if err := w.rotateLocked(); err != nil {
+			return seq, err
+		}
+	}
+	return seq, nil
+}
+
+// NextSeq returns the sequence number the next Append will get.
+func (w *WAL) NextSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// Rotate fsyncs and closes the current segment and starts a new one at
+// the current seq — the snapshot-boundary cut. It returns the new
+// segment's base seq (== the snapshot boundary: records >= it are not
+// covered by the snapshot being taken).
+func (w *WAL) Rotate() (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, fmt.Errorf("persist: wal is closed")
+	}
+	if err := w.rotateLocked(); err != nil {
+		return 0, err
+	}
+	return w.seq, nil
+}
+
+func (w *WAL) rotateLocked() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	w.unsynced = 0
+	return w.openSegment()
+}
+
+// RemoveSegmentsBelow deletes every segment whose records all precede
+// boundary — called after a snapshot covering them is durable.
+func (w *WAL) RemoveSegmentsBelow(boundary uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	bases, err := listSegments(w.fs, w.dir)
+	if err != nil {
+		return err
+	}
+	for i, b := range bases {
+		// A segment's records end where the next segment begins; the
+		// live (last) segment is never removed.
+		if i+1 < len(bases) && bases[i+1] <= boundary {
+			if err := w.fs.Remove(segPath(w.dir, b)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Sync forces an fsync of the live segment.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	w.unsynced = 0
+	return w.f.Sync()
+}
+
+// Close flushes, fsyncs and closes the live segment.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// ReplayStats summarizes one WAL replay.
+type ReplayStats struct {
+	// Records is how many records were delivered to the callback.
+	Records int
+	// NextSeq is the sequence number after the last valid record on
+	// disk — where a reopened WAL should continue.
+	NextSeq uint64
+	// Torn is true when the final segment ended in a partial record
+	// (the append that was in flight when the process died).
+	Torn bool
+	// TornSegBase and TornValidBytes locate the valid prefix of the
+	// torn segment for RepairTail.
+	TornSegBase    uint64
+	TornValidBytes int64
+}
+
+// RepairTail truncates the torn tail a replay found, so the segment is
+// clean before new segments are opened after it. No-op when nothing
+// was torn; a crash mid-repair just leaves the tail torn for the next
+// recovery.
+func RepairTail(fsys faultfs.FS, dir string, stats ReplayStats) error {
+	if !stats.Torn {
+		return nil
+	}
+	if err := fsys.Truncate(segPath(dir, stats.TornSegBase), stats.TornValidBytes); err != nil {
+		return fmt.Errorf("persist: wal tail repair: %w", err)
+	}
+	return nil
+}
+
+// ReplayWAL streams every record with seq >= fromSeq to fn, in order.
+// A torn tail on the final segment stops replay cleanly; framing
+// damage anywhere else is an error (real corruption, not a crash
+// artifact). fn errors abort the replay.
+func ReplayWAL(fsys faultfs.FS, dir string, fromSeq uint64, fn func(seq uint64, payload []byte) error) (ReplayStats, error) {
+	var stats ReplayStats
+	stats.NextSeq = fromSeq
+	bases, err := listSegments(fsys, dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return stats, nil
+		}
+		return stats, fmt.Errorf("persist: wal list: %w", err)
+	}
+	for si, base := range bases {
+		last := si == len(bases)-1
+		seq := base
+		if stats.NextSeq < base {
+			stats.NextSeq = base
+		}
+		err := func() error {
+			f, err := fsys.Open(segPath(dir, base))
+			if err != nil {
+				return fmt.Errorf("persist: wal open: %w", err)
+			}
+			defer f.Close()
+			r := bufio.NewReaderSize(f, 32*1024)
+			var hdr [walHeaderLen]byte
+			var valid int64
+			torn := func() error {
+				// Torn tail on the live (last) segment is the crash
+				// artifact we expect; anywhere else it is corruption.
+				if last {
+					stats.Torn = true
+					stats.TornSegBase = base
+					stats.TornValidBytes = valid
+					return nil
+				}
+				return fmt.Errorf("%w: wal segment %d torn mid-stream", ErrCorrupt, base)
+			}
+			for {
+				if _, err := io.ReadFull(r, hdr[:]); err != nil {
+					if err == io.EOF {
+						return nil
+					}
+					return torn()
+				}
+				n := binary.LittleEndian.Uint32(hdr[0:])
+				sum := binary.LittleEndian.Uint32(hdr[4:])
+				if n > MaxRecord {
+					return torn()
+				}
+				payload := make([]byte, n)
+				if _, err := io.ReadFull(r, payload); err != nil {
+					return torn()
+				}
+				if Checksum(payload) != sum {
+					return torn()
+				}
+				if seq >= fromSeq {
+					if err := fn(seq, payload); err != nil {
+						return err
+					}
+					stats.Records++
+				}
+				seq++
+				valid += int64(walHeaderLen) + int64(n)
+				if seq > stats.NextSeq {
+					stats.NextSeq = seq
+				}
+			}
+		}()
+		if err != nil {
+			return stats, err
+		}
+		if stats.Torn {
+			break
+		}
+	}
+	return stats, nil
+}

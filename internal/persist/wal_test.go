@@ -1,0 +1,233 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"desh/internal/persist/faultfs"
+)
+
+func appendAll(t *testing.T, w *WAL, recs ...[]byte) []uint64 {
+	t.Helper()
+	seqs := make([]uint64, len(recs))
+	for i, r := range recs {
+		seq, err := w.Append(r)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		seqs[i] = seq
+	}
+	return seqs
+}
+
+func replayAll(t *testing.T, fsys faultfs.FS, dir string, from uint64) ([]string, ReplayStats) {
+	t.Helper()
+	var got []string
+	stats, err := ReplayWAL(fsys, dir, from, func(seq uint64, payload []byte) error {
+		got = append(got, fmt.Sprintf("%d:%s", seq, payload))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got, stats
+}
+
+func TestWALAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fsys := faultfs.OS()
+	w, err := OpenWAL(fsys, dir, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs := appendAll(t, w, []byte("a"), []byte("bb"), []byte("ccc"))
+	if seqs[0] != 0 || seqs[2] != 2 {
+		t.Fatalf("unexpected seqs %v", seqs)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, stats := replayAll(t, fsys, dir, 0)
+	want := []string{"0:a", "1:bb", "2:ccc"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+	if stats.NextSeq != 3 || stats.Torn {
+		t.Fatalf("stats %+v", stats)
+	}
+	// Replay from the middle skips earlier records.
+	got, _ = replayAll(t, fsys, dir, 2)
+	if len(got) != 1 || got[0] != "2:ccc" {
+		t.Fatalf("partial replay got %v", got)
+	}
+}
+
+func TestWALRotateAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	fsys := faultfs.OS()
+	w, err := OpenWAL(fsys, dir, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, []byte("one"), []byte("two"))
+	boundary, err := w.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if boundary != 2 {
+		t.Fatalf("boundary %d want 2", boundary)
+	}
+	appendAll(t, w, []byte("three"))
+	if err := w.RemoveSegmentsBelow(boundary); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, stats := replayAll(t, fsys, dir, boundary)
+	if len(got) != 1 || got[0] != "2:three" {
+		t.Fatalf("post-truncate replay got %v", got)
+	}
+	if stats.NextSeq != 3 {
+		t.Fatalf("NextSeq %d want 3", stats.NextSeq)
+	}
+}
+
+func TestWALSegmentSizeRotation(t *testing.T) {
+	dir := t.TempDir()
+	fsys := faultfs.OS()
+	// Tiny segment cap: every record rotates.
+	w, err := OpenWAL(fsys, dir, 0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, []byte("aaaa"), []byte("bbbb"), []byte("cccc"))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(fsys, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected >=3 segments, got %v", segs)
+	}
+	got, _ := replayAll(t, fsys, dir, 0)
+	if len(got) != 3 {
+		t.Fatalf("replay across segments got %v", got)
+	}
+}
+
+func TestWALTornTailRecovers(t *testing.T) {
+	dir := t.TempDir()
+	base := faultfs.OS()
+	fault := faultfs.NewFault(base)
+	w, err := OpenWAL(fault, dir, 0, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, []byte("alpha"), []byte("beta"))
+	// Crash on the next file write, landing only 3 bytes of the header —
+	// a torn record.
+	fault.CrashAfter(0)
+	fault.TornWriteBytes(3)
+	if _, err := w.Append([]byte("gamma")); !errors.Is(err, faultfs.ErrCrashed) {
+		t.Fatalf("expected injected crash, got %v", err)
+	}
+	// Recovery uses a fresh (healthy) FS, like a restarted process.
+	got, stats := replayAll(t, base, dir, 0)
+	if len(got) != 2 || got[0] != "0:alpha" || got[1] != "1:beta" {
+		t.Fatalf("replay after torn tail got %v", got)
+	}
+	if !stats.Torn {
+		t.Fatal("torn tail not reported")
+	}
+	if stats.NextSeq != 2 {
+		t.Fatalf("NextSeq %d want 2", stats.NextSeq)
+	}
+	// Recovery repairs the tail, reopens at NextSeq, and the full
+	// history replays cleanly — including the record written after the
+	// crash.
+	if err := RepairTail(base, dir, stats); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := OpenWAL(base, dir, stats.NextSeq, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w2, []byte("gamma"))
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, stats = replayAll(t, base, dir, 0)
+	if len(got) != 3 || got[2] != "2:gamma" || stats.Torn {
+		t.Fatalf("post-repair replay got %v (stats %+v)", got, stats)
+	}
+}
+
+func TestWALCorruptMiddleSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	fsys := faultfs.OS()
+	w, err := OpenWAL(fsys, dir, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, []byte("one"))
+	if _, err := w.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, w, []byte("two"))
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the FIRST segment mid-record: that is corruption, not a
+	// torn tail, because a later segment exists.
+	paths, _ := listSegments(fsys, dir)
+	if len(paths) != 2 {
+		t.Fatalf("want 2 segments, got %v", paths)
+	}
+	f, err := fsys.OpenFile(segPath(dir, paths[0]), os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{1, 2, 3})
+	f.Close()
+	_, err = ReplayWAL(fsys, dir, 0, func(uint64, []byte) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("expected ErrCorrupt, got %v", err)
+	}
+}
+
+func TestRecordCodecs(t *testing.T) {
+	ev := EventRecord{TimeNano: 1234567890123, Node: "c0-0c0s0n0", Message: "link failed x=3", Key: "link failed x=#"}
+	dec, err := DecodeEvent(EncodeEvent(ev)[1:])
+	if err != nil || dec != ev {
+		t.Fatalf("event round trip: %+v %v", dec, err)
+	}
+	al := AlertRecord{Node: "c1-0c2s3n1", FlaggedNano: 42, LeadBits: 0x400921fb54442d18, MSEBits: 7, Provisional: true}
+	da, err := DecodeAlert(EncodeAlert(al)[1:])
+	if err != nil || da != al {
+		t.Fatalf("alert round trip: %+v %v", da, err)
+	}
+	q := QuarantineRecord{TimeNano: -5, Node: "c0-0c0s0n0", Key: "panic phrase"}
+	dq, err := DecodeQuarantine(EncodeQuarantine(q)[1:])
+	if err != nil || dq != q {
+		t.Fatalf("quarantine round trip: %+v %v", dq, err)
+	}
+	if al.LedgerKey() == (AlertRecord{Node: al.Node, FlaggedNano: al.FlaggedNano, LeadBits: al.LeadBits}).LedgerKey() {
+		t.Fatal("provisional flag must distinguish ledger keys")
+	}
+	if _, err := DecodeEvent([]byte{0xff}); err == nil {
+		t.Fatal("truncated event must fail")
+	}
+	if _, err := DecodeAlert([]byte{2}); err == nil {
+		t.Fatal("truncated alert must fail")
+	}
+}

@@ -8,37 +8,76 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"sync"
+	"time"
 )
+
+// maxLineBytes caps one ingest line at 1 MiB. A longer line is
+// discarded in full — counted in Metrics.Oversized — while the
+// connection stays alive; one runaway producer must not kill an ingest
+// socket shared with well-behaved ones.
+const maxLineBytes = 1 << 20
 
 // IngestReader tails r line by line into the streamer until EOF, an
 // unrecoverable read error, or Close. Malformed lines are counted in
-// Metrics.Malformed and skipped — a daemon must survive garbage on its
-// ingest socket — so the only errors returned are ErrClosed and reader
-// failures.
+// Metrics.Malformed and skipped, oversized lines in Metrics.Oversized —
+// a daemon must survive garbage on its ingest socket — so the only
+// errors returned are ErrClosed and reader failures.
 func (s *Streamer) IngestReader(r io.Reader) error {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64*1024), 1024*1024)
-	for sc.Scan() {
-		if err := s.IngestLine(sc.Text()); errors.Is(err, ErrClosed) {
-			return err
+	br := bufio.NewReaderSize(r, 64*1024)
+	line := make([]byte, 0, 4096)
+	discarding := false
+	for {
+		chunk, err := br.ReadSlice('\n')
+		if !discarding {
+			if len(line)+len(chunk) > maxLineBytes {
+				s.met.Oversized.Add(1)
+				discarding = true
+				line = line[:0]
+			} else {
+				line = append(line, chunk...)
+			}
+		}
+		switch {
+		case err == nil:
+			// chunk ended the line.
+			if discarding {
+				discarding = false
+				continue
+			}
+			if ierr := s.IngestLine(string(line)); errors.Is(ierr, ErrClosed) {
+				return ierr
+			}
+			line = line[:0]
+		case errors.Is(err, bufio.ErrBufferFull):
+			// Mid-line; keep accumulating (or discarding).
+		case errors.Is(err, io.EOF):
+			if !discarding && len(line) > 0 {
+				if ierr := s.IngestLine(string(line)); errors.Is(ierr, ErrClosed) {
+					return ierr
+				}
+			}
+			return nil
+		default:
+			return fmt.Errorf("stream: read: %w", err)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("stream: read: %w", err)
-	}
-	return nil
 }
 
 // ServeLines accepts line-oriented TCP connections on ln — the `nc
 // host port < node.log` ingest format — feeding every line through the
 // streamer. Each connection gets its own goroutine; per-shard queue
 // bounds still apply, so a burst on one connection cannot grow memory.
-// ServeLines returns when ln is closed or the streamer shuts down, and
-// only after every connection goroutine has finished.
+// At most MaxConns connections are served at once (excess accepts are
+// counted in Metrics.ConnRejected and closed), and a connection that
+// delivers nothing for ConnIdleTimeout is dropped. ServeLines returns
+// when ln is closed or the streamer shuts down, and only after every
+// connection goroutine has finished.
 func (s *Streamer) ServeLines(ln net.Listener) error {
 	var wg sync.WaitGroup
 	defer wg.Wait()
+	sem := make(chan struct{}, s.opts.MaxConns)
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -52,9 +91,17 @@ func (s *Streamer) ServeLines(ln net.Listener) error {
 			}
 			return err
 		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			s.met.ConnRejected.Add(1)
+			conn.Close()
+			continue
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() { <-sem }()
 			defer conn.Close()
 			// Unblock the read when the streamer shuts down mid-stream.
 			connDone := make(chan struct{})
@@ -66,14 +113,34 @@ func (s *Streamer) ServeLines(ln net.Listener) error {
 				case <-connDone:
 				}
 			}()
-			_ = s.IngestReader(conn)
+			var r io.Reader = conn
+			if d := s.opts.ConnIdleTimeout; d > 0 {
+				r = &idleConnReader{conn: conn, idle: d}
+			}
+			if err := s.IngestReader(r); errors.Is(err, os.ErrDeadlineExceeded) {
+				s.met.ConnRejected.Add(1)
+			}
 		}()
 	}
 }
 
+// idleConnReader arms a fresh read deadline before every Read, so the
+// connection dies only after ConnIdleTimeout of total silence — not
+// after a fixed wall-clock lifetime.
+type idleConnReader struct {
+	conn net.Conn
+	idle time.Duration
+}
+
+func (r *idleConnReader) Read(p []byte) (int, error) {
+	_ = r.conn.SetReadDeadline(time.Now().Add(r.idle))
+	return r.conn.Read(p)
+}
+
 // IngestHandler returns the HTTP ingest endpoint: POST a body of
 // newline-separated raw log lines. Responds 202 with the number of
-// events accepted this request, 503 once the streamer is closed.
+// events accepted this request, 413 when the body exceeds MaxBodyBytes,
+// 503 once the streamer is closed.
 func (s *Streamer) IngestHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -81,10 +148,13 @@ func (s *Streamer) IngestHandler() http.Handler {
 			return
 		}
 		before := s.met.Ingested.Load()
-		err := s.IngestReader(r.Body)
+		err := s.IngestReader(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+		var tooBig *http.MaxBytesError
 		switch {
 		case errors.Is(err, ErrClosed):
 			http.Error(w, "streamer closed", http.StatusServiceUnavailable)
+		case errors.As(err, &tooBig):
+			http.Error(w, fmt.Sprintf("body exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
 		case err != nil:
 			http.Error(w, err.Error(), http.StatusBadRequest)
 		default:

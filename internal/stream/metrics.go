@@ -127,6 +127,36 @@ type Metrics struct {
 	// AlertsDropped counts fired alerts discarded because the subscriber
 	// channel was full.
 	AlertsDropped atomic.Int64
+	// Processed counts events a shard ran to completion. The conservation
+	// invariant Processed + Dropped + Quarantined == Ingested -
+	// SafeFiltered holds whenever the streamer is quiescent (queues
+	// empty).
+	Processed atomic.Int64
+	// Oversized counts ingest lines discarded for exceeding the line
+	// length cap.
+	Oversized atomic.Int64
+	// Quarantined counts poisoned events abandoned after MaxEventRetries
+	// consecutive panics.
+	Quarantined atomic.Int64
+	// ShardRestarts counts shard supervisor restarts after a recovered
+	// panic.
+	ShardRestarts atomic.Int64
+	// Snapshots counts state snapshots successfully persisted.
+	Snapshots atomic.Int64
+	// SnapshotErrors counts snapshot attempts that failed.
+	SnapshotErrors atomic.Int64
+	// WALErrors counts write-ahead-log appends that failed (the event was
+	// still processed in memory).
+	WALErrors atomic.Int64
+	// ReplayedEvents counts events re-fed from the WAL tail during boot
+	// recovery (also counted in Ingested).
+	ReplayedEvents atomic.Int64
+	// ReplaySuppressed counts alerts withheld during recovery because the
+	// WAL ledger shows the pre-crash process already delivered them.
+	ReplaySuppressed atomic.Int64
+	// ConnRejected counts ServeLines connections refused by the MaxConns
+	// cap or dropped by the idle timeout.
+	ConnRejected atomic.Int64
 	// Detect is the per-event shard processing latency (chain tracking +
 	// detection).
 	Detect Histogram
@@ -145,6 +175,16 @@ type MetricsSnapshot struct {
 	AlertsFired      int64             `json:"alerts_fired"`
 	AlertsSuppressed int64             `json:"alerts_suppressed"`
 	AlertsDropped    int64             `json:"alerts_dropped"`
+	Processed        int64             `json:"processed"`
+	Oversized        int64             `json:"oversized"`
+	Quarantined      int64             `json:"quarantined"`
+	ShardRestarts    int64             `json:"shard_restarts"`
+	Snapshots        int64             `json:"snapshots"`
+	SnapshotErrors   int64             `json:"snapshot_errors"`
+	WALErrors        int64             `json:"wal_errors"`
+	ReplayedEvents   int64             `json:"replayed_events"`
+	ReplaySuppressed int64             `json:"replay_suppressed"`
+	ConnRejected     int64             `json:"conn_rejected"`
 	QueueDepths      []int             `json:"queue_depths"`
 	Detect           HistogramSnapshot `json:"detect_latency"`
 }

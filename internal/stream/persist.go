@@ -1,0 +1,400 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"desh/internal/chain"
+	"desh/internal/logparse"
+	"desh/internal/persist"
+	"desh/internal/persist/faultfs"
+)
+
+// persistedNode is one node's durable streaming state: the incremental
+// chain tracker plus the alert-dedup machine. Window/gauge bookkeeping
+// (wasOpen, evicted) is derived on restore.
+type persistedNode struct {
+	Tracker     chain.TrackerState
+	Alerted     bool
+	LastAlertAt time.Time
+	OpenAlerted bool
+}
+
+// streamerSnapshot is the snapshot payload. EncKeys is the full phrase
+// encoder in id order: the prefix must match the loaded model (a
+// cross-model state dir is rejected), and the tail restores ids the
+// stream assigned to phrases first seen after training — without it,
+// events held in restored trackers would disagree with post-restart
+// encodings.
+type streamerSnapshot struct {
+	EncKeys []string
+	Nodes   map[string]persistedNode
+}
+
+// persister owns the streamer's crash-recovery machinery: the snapshot
+// store, the write-ahead log, and the boot-time replay ledgers.
+type persister struct {
+	fs    faultfs.FS
+	store *persist.SnapshotStore
+	wal   *persist.WAL
+
+	mu sync.Mutex
+	// ledger counts alerts the pre-crash process already delivered;
+	// replay decrements it instead of re-delivering.
+	ledger map[string]int
+	// quarantined marks poisoned events replay must skip.
+	quarantined map[string]bool
+}
+
+func quarantineKeyOf(ev logparse.EncodedEvent) string {
+	return persist.EventQuarantineKey(ev.Time, ev.Node, ev.Key)
+}
+
+func alertRecordOf(a Alert) persist.AlertRecord {
+	return persist.AlertRecord{
+		Node:        a.Node,
+		FlaggedNano: a.FlaggedAt.UnixNano(),
+		LeadBits:    math.Float64bits(a.LeadSeconds),
+		MSEBits:     math.Float64bits(a.MSE),
+		Provisional: a.Provisional,
+	}
+}
+
+// appendEvent makes an ingested event durable. Failure degrades to
+// in-memory operation for this event and is counted — the stream keeps
+// alerting even with a dead disk.
+func (p *persister) appendEvent(s *Streamer, ev logparse.Event) {
+	rec := persist.EventRecord{TimeNano: ev.Time.UnixNano(), Node: ev.Node, Message: ev.Message, Key: ev.Key}
+	if _, err := p.wal.Append(persist.EncodeEvent(rec)); err != nil {
+		s.met.WALErrors.Add(1)
+	}
+}
+
+// appendAlert records a delivered alert in the WAL ledger.
+func (p *persister) appendAlert(s *Streamer, a Alert) {
+	if _, err := p.wal.Append(persist.EncodeAlert(alertRecordOf(a))); err != nil {
+		s.met.WALErrors.Add(1)
+	}
+}
+
+// appendQuarantine records a poisoned event so replay never reprocesses
+// it.
+func (p *persister) appendQuarantine(s *Streamer, ev logparse.EncodedEvent) {
+	p.mu.Lock()
+	p.quarantined[quarantineKeyOf(ev)] = true
+	p.mu.Unlock()
+	rec := persist.QuarantineRecord{TimeNano: ev.Time.UnixNano(), Node: ev.Node, Key: ev.Key}
+	if _, err := p.wal.Append(persist.EncodeQuarantine(rec)); err != nil {
+		s.met.WALErrors.Add(1)
+	}
+}
+
+// ledgerTake consumes one ledger entry for a, reporting whether the
+// alert was already delivered before the crash.
+func (p *persister) ledgerTake(a Alert) bool {
+	k := alertRecordOf(a).LedgerKey()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ledger[k] > 0 {
+		p.ledger[k]--
+		return true
+	}
+	return false
+}
+
+// recover rebuilds streamer state from the state directory: newest
+// valid snapshot, then the WAL tail replayed through the normal shard
+// path. It runs single-threaded inside New, before any goroutine
+// starts.
+func (s *Streamer) recover() error {
+	fsys := s.opts.fsys
+	if fsys == nil {
+		fsys = faultfs.OS()
+	}
+	store, err := persist.NewSnapshotStore(fsys, s.opts.StateDir)
+	if err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+	p := &persister{
+		fs:          fsys,
+		store:       store,
+		ledger:      make(map[string]int),
+		quarantined: make(map[string]bool),
+	}
+	s.pst = p
+
+	var snap streamerSnapshot
+	boundary, ok, err := store.LoadLatest(&snap)
+	if err != nil {
+		// Snapshots exist but none decodes: refuse to silently discard
+		// state. The operator can clear the directory to start cold.
+		return fmt.Errorf("stream: state dir %q has no usable snapshot: %w", s.opts.StateDir, err)
+	}
+	if ok {
+		if err := s.restoreSnapshot(snap); err != nil {
+			return err
+		}
+	}
+
+	// Pass 1: scan the WAL tail for the alert ledger and quarantine
+	// set. Framing damage past the torn tail is real corruption and
+	// fails loudly.
+	stats, err := persist.ReplayWAL(fsys, s.opts.StateDir, boundary, func(_ uint64, payload []byte) error {
+		if len(payload) == 0 {
+			return persist.ErrCorrupt
+		}
+		switch payload[0] {
+		case persist.RecAlert:
+			rec, err := persist.DecodeAlert(payload[1:])
+			if err != nil {
+				return err
+			}
+			p.ledger[rec.LedgerKey()]++
+		case persist.RecQuarantine:
+			rec, err := persist.DecodeQuarantine(payload[1:])
+			if err != nil {
+				return err
+			}
+			p.quarantined[rec.LedgerKey()] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("stream: wal scan: %w", err)
+	}
+	if err := persist.RepairTail(fsys, s.opts.StateDir, stats); err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+
+	// The live WAL opens before pass 2 so quarantines and alerts
+	// produced during replay are themselves durable.
+	wal, err := persist.OpenWAL(fsys, s.opts.StateDir, stats.NextSeq, s.opts.WALSyncEvery, 0)
+	if err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+	p.wal = wal
+
+	// Pass 2: re-feed events through the shards. seq >= stats.NextSeq
+	// is the segment the reopened WAL is appending to — not part of
+	// the tail being recovered.
+	s.replaying = true
+	defer func() { s.replaying = false }()
+	_, err = persist.ReplayWAL(fsys, s.opts.StateDir, boundary, func(seq uint64, payload []byte) error {
+		if seq >= stats.NextSeq || len(payload) == 0 || payload[0] != persist.RecEvent {
+			return nil
+		}
+		rec, err := persist.DecodeEvent(payload[1:])
+		if err != nil {
+			return err
+		}
+		if p.quarantined[persist.QuarantineRecord{TimeNano: rec.TimeNano, Node: rec.Node, Key: rec.Key}.LedgerKey()] {
+			return nil
+		}
+		s.replayEvent(rec)
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("stream: wal replay: %w", err)
+	}
+	return nil
+}
+
+// restoreSnapshot loads per-node state and the encoder tail, verifying
+// the snapshot was written against the same model.
+func (s *Streamer) restoreSnapshot(snap streamerSnapshot) error {
+	n := s.enc.Len()
+	if len(snap.EncKeys) < n {
+		return fmt.Errorf("stream: state dir snapshot has %d phrases, model has %d: state belongs to a different model", len(snap.EncKeys), n)
+	}
+	for i := 0; i < n; i++ {
+		if s.enc.Key(i) != snap.EncKeys[i] {
+			return fmt.Errorf("stream: state dir snapshot phrase %d mismatches model: state belongs to a different model", i)
+		}
+	}
+	for _, k := range snap.EncKeys[n:] {
+		s.enc.Encode(k)
+	}
+	cfg := s.p.Config().ChainCfg
+	now := time.Now()
+	for node, pn := range snap.Nodes {
+		tr, err := chain.NewTracker(node, s.lab, cfg, s.opts.MaxOpenWindow)
+		if err != nil {
+			return fmt.Errorf("stream: restore %s: %w", node, err)
+		}
+		// A restored window longer than the current MaxOpenWindow
+		// shrinks lazily as new events evict from the front.
+		tr.Restore(pn.Tracker)
+		ns := &nodeState{
+			tracker:     tr,
+			lastArrival: now,
+			alerted:     pn.Alerted,
+			lastAlertAt: pn.LastAlertAt,
+			openAlerted: pn.OpenAlerted,
+			evicted:     pn.Tracker.Dropped,
+		}
+		if tr.OpenLen() > 0 {
+			ns.wasOpen = true
+			s.met.ChainsOpen.Add(1)
+		}
+		s.shards[s.shardOf(node)].nodes[node] = ns
+	}
+	return nil
+}
+
+// replayEvent re-feeds one WAL event through its shard, synchronously
+// (New's goroutine is the only one running).
+func (s *Streamer) replayEvent(rec persist.EventRecord) {
+	ev := logparse.Event{
+		Time:    time.Unix(0, rec.TimeNano).UTC(),
+		Node:    rec.Node,
+		Message: rec.Message,
+		Key:     rec.Key,
+	}
+	s.met.Ingested.Add(1)
+	s.met.ReplayedEvents.Add(1)
+	enc := logparse.EncodedEvent{Event: ev, ID: s.encodeKey(ev.Key)}
+	s.shards[s.shardOf(ev.Node)].processReplay(enc)
+}
+
+// processReplay is process for the boot-time replay path: a panic
+// quarantines the event immediately (there is no supervisor to retry
+// under, and the event already had its chance pre-crash).
+func (sh *shard) processReplay(ev logparse.EncodedEvent) {
+	defer func() {
+		if r := recover(); r != nil {
+			sh.s.met.Quarantined.Add(1)
+			sh.s.pst.appendQuarantine(sh.s, ev)
+		}
+	}()
+	if hook := sh.s.opts.panicHook; hook != nil {
+		hook(sh.id, ev)
+	}
+	sh.handle(ev)
+	sh.s.met.Processed.Add(1)
+}
+
+// snapshotLoop drives periodic snapshots until shutdown.
+func (s *Streamer) snapshotLoop() {
+	defer s.bgWG.Done()
+	t := time.NewTicker(s.opts.SnapshotEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			if err := s.snapshotNow(); err != nil {
+				s.met.SnapshotErrors.Add(1)
+			}
+		}
+	}
+}
+
+// snapshotNow takes one consistent snapshot: rotate the WAL at a
+// boundary, push a barrier through every shard queue, persist the
+// merged states, then drop WAL segments the snapshot covers.
+//
+// Consistency argument: the barrier is enqueued while ingest is locked
+// out, so every event with a WAL seq below the boundary is already in
+// some queue ahead of its shard's barrier, and every later event is
+// appended after the rotation and lands behind it. Each shard's
+// captured state is therefore exactly "all events below the boundary
+// applied".
+func (s *Streamer) snapshotNow() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	boundary, err := s.pst.wal.Rotate()
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.encMu.RLock()
+	keys := s.enc.Keys()
+	s.encMu.RUnlock()
+	replies := make(chan map[string]persistedNode, len(s.shards))
+	for _, sh := range s.shards {
+		sh.ch <- shardMsg{snap: replies}
+	}
+	s.mu.Unlock()
+	nodes := make(map[string]persistedNode)
+	for range s.shards {
+		select {
+		case m := <-replies:
+			for node, pn := range m {
+				nodes[node] = pn
+			}
+		case <-s.done:
+			// Shutdown (or simulated crash) raced the barrier; a crashed
+			// shard exits without replying. Abandon this snapshot — the
+			// graceful path takes its own final one, and the crash path
+			// recovers from the WAL. replies is buffered, so late
+			// repliers never block.
+			return nil
+		}
+	}
+	if err := s.pst.store.Save(boundary, streamerSnapshot{EncKeys: keys, Nodes: nodes}); err != nil {
+		return err
+	}
+	_ = s.pst.wal.RemoveSegmentsBelow(boundary)
+	s.met.Snapshots.Add(1)
+	return nil
+}
+
+// finalSnapshot persists the post-drain state during a graceful Close
+// (every goroutine has stopped; shard maps are safe to read directly)
+// and truncates the WAL it covers.
+func (p *persister) finalSnapshot(s *Streamer) error {
+	boundary := p.wal.NextSeq()
+	nodes := make(map[string]persistedNode)
+	for _, sh := range s.shards {
+		for node, pn := range sh.capture() {
+			nodes[node] = pn
+		}
+	}
+	if err := p.store.Save(boundary, streamerSnapshot{EncKeys: s.enc.Keys(), Nodes: nodes}); err != nil {
+		p.wal.Close()
+		return err
+	}
+	_ = p.wal.RemoveSegmentsBelow(boundary)
+	s.met.Snapshots.Add(1)
+	return p.wal.Close()
+}
+
+// closeAbrupt is the crash path's file cleanup (test seam): no final
+// snapshot, no drain — just let go of the WAL handle. Appended records
+// already reached the OS, which is exactly the durability a killed
+// process has.
+func (p *persister) closeAbrupt() {
+	_ = p.wal.Close()
+}
+
+// crash simulates a SIGKILL for the recovery tests: shards stop where
+// they stand — queued events are abandoned, open episodes are not
+// flushed, no final snapshot is taken. Everything the process would
+// have lost, this loses; everything the WAL made durable survives for
+// the next New to recover.
+func (s *Streamer) crash() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.crashed.Store(true)
+	s.mu.Unlock()
+	close(s.done)
+	for _, sh := range s.shards {
+		close(sh.ch)
+	}
+	s.wg.Wait()
+	s.bgWG.Wait()
+	close(s.alerts)
+	if s.pst != nil {
+		s.pst.closeAbrupt()
+	}
+}

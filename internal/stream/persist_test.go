@@ -1,0 +1,405 @@
+package stream
+
+import (
+	"bytes"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"desh/internal/catalog"
+	"desh/internal/core"
+	"desh/internal/logparse"
+	"desh/internal/logsim"
+	"desh/internal/persist"
+)
+
+// freshPipeline clones the shared trained pipeline through Save/Load —
+// the same thing a real restart does by reloading the model file — so
+// each streamer incarnation gets its own encoder and labeler.
+func freshPipeline(t testing.TB) *core.Pipeline {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trainedPipeline(t).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// alertKey is the multiset identity of an alert for run comparison.
+func alertKey(a Alert) string { return alertRecordOf(a).LedgerKey() }
+
+func alertMultiset(alerts []Alert) map[string]int {
+	m := make(map[string]int, len(alerts))
+	for _, a := range alerts {
+		m[alertKey(a)]++
+	}
+	return m
+}
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func checkConservation(t *testing.T, s *Streamer) {
+	t.Helper()
+	m := s.SnapshotMetrics()
+	if m.Processed+m.Dropped+m.Quarantined != m.Ingested-m.SafeFiltered {
+		t.Fatalf("conservation violated: processed %d + dropped %d + quarantined %d != ingested %d - safe %d",
+			m.Processed, m.Dropped, m.Quarantined, m.Ingested, m.SafeFiltered)
+	}
+}
+
+// TestCrashRestartEquivalence is the paper cut of the tentpole: a run
+// that is killed (no drain, no final snapshot) several times and
+// recovered from its state directory must deliver exactly the alerts of
+// an uninterrupted run — no losses, no duplicates — with snapshots
+// taken mid-flight to exercise the snapshot + WAL-tail path.
+func TestCrashRestartEquivalence(t *testing.T) {
+	run, err := generatedRun(logsim.Profiles()[2], 24, 24, 16, 131)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := make([]string, len(run.Events))
+	for i, ge := range run.Events {
+		lines[i] = ge.Line()
+	}
+	opts := func(extra ...Option) []Option {
+		return append([]Option{
+			WithShards(3),
+			WithQuietPeriod(time.Minute),
+			WithEarlyDetect(true),
+			WithAlertBuffer(8192),
+			WithSnapshotEvery(time.Hour), // periodic loop stays out of the way
+			WithRestartBackoff(time.Millisecond),
+		}, extra...)
+	}
+
+	// Baseline: one uninterrupted pass.
+	sb, err := New(freshPipeline(t), opts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, waitBase := collectAlerts(sb)
+	for _, line := range lines {
+		if err := sb.IngestLine(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := alertMultiset(waitBase())
+	if len(want) < 3 {
+		t.Fatalf("baseline fired only %d distinct alerts; run too quiet to pin equivalence", len(want))
+	}
+
+	// The same stream, killed four times: each incarnation picks up from
+	// the state directory. Odd incarnations also snapshot mid-segment so
+	// recovery exercises snapshot-restore + WAL-tail, not just full
+	// replay.
+	dir := t.TempDir()
+	n := len(lines)
+	cuts := []int{n / 5, 2 * n / 5, 3 * n / 5, 4 * n / 5, n}
+	var got []Alert
+	start := 0
+	for i, end := range cuts {
+		s, err := New(freshPipeline(t), opts(WithStateDir(dir))...)
+		if err != nil {
+			t.Fatalf("incarnation %d: %v", i, err)
+		}
+		_, wait := collectAlerts(s)
+		for j := start; j < end; j++ {
+			if err := s.IngestLine(lines[j]); err != nil {
+				t.Fatalf("incarnation %d line %d: %v", i, j, err)
+			}
+			if i%2 == 1 && j == (start+end)/2 {
+				if err := s.snapshotNow(); err != nil {
+					t.Fatalf("incarnation %d snapshot: %v", i, err)
+				}
+			}
+		}
+		if end < n {
+			s.crash()
+		} else {
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			checkConservation(t, s)
+		}
+		if d := s.Metrics().AlertsDropped.Load(); d != 0 {
+			t.Fatalf("incarnation %d dropped %d alerts; buffer sizing broke the comparison", i, d)
+		}
+		got = append(got, wait()...)
+		start = end
+	}
+
+	gotSet := alertMultiset(got)
+	for k, n := range want {
+		if gotSet[k] != n {
+			t.Errorf("alert %s: crash-restart run delivered %d, baseline %d", k, gotSet[k], n)
+		}
+	}
+	for k, n := range gotSet {
+		if want[k] != n {
+			t.Errorf("spurious alert %s: crash-restart run delivered %d, baseline %d", k, n, want[k])
+		}
+	}
+}
+
+// TestGracefulRestartReplaysNothing: a drained Close writes a final
+// snapshot covering the whole WAL, so the next boot replays zero
+// records and serves immediately.
+func TestGracefulRestartReplaysNothing(t *testing.T) {
+	events, err := generatedEvents(logsim.Profiles()[2], 8, 4, 3, 134)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	s, err := New(freshPipeline(t), WithShards(2), WithStateDir(dir), WithAlertBuffer(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if err := s.IngestEvent(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Metrics().Snapshots.Load() == 0 {
+		t.Fatal("graceful close took no final snapshot")
+	}
+
+	s2, err := New(freshPipeline(t), WithShards(2), WithStateDir(dir), WithAlertBuffer(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s2.SnapshotMetrics()
+	if m.ReplayedEvents != 0 {
+		t.Fatalf("replayed %d events after a graceful shutdown", m.ReplayedEvents)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardPanicRestartKeepsState: one injected panic mid-stream must
+// cost nothing — the supervisor restarts the shard, retries the event,
+// and the run's alerts match a run with no panic at all.
+func TestShardPanicRestartKeepsState(t *testing.T) {
+	events, err := generatedEvents(logsim.Profiles()[2], 12, 12, 8, 132)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := []Option{
+		WithShards(2),
+		WithQuietPeriod(time.Minute),
+		WithAlertBuffer(8192),
+		WithRestartBackoff(time.Millisecond),
+	}
+
+	sb, err := New(freshPipeline(t), base...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, waitBase := collectAlerts(sb)
+	for _, ev := range events {
+		if err := sb.IngestEvent(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sb.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := alertMultiset(waitBase())
+	if len(want) == 0 {
+		t.Fatal("baseline fired no alerts; test stream too quiet")
+	}
+
+	var seen atomic.Int64
+	hook := func(_ int, _ logparse.EncodedEvent) {
+		if seen.Add(1) == 50 {
+			panic("injected shard failure")
+		}
+	}
+	s, err := New(freshPipeline(t), append(base, withPanicHook(hook))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wait := collectAlerts(s)
+	for _, ev := range events {
+		if err := s.IngestEvent(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := alertMultiset(wait())
+
+	m := s.SnapshotMetrics()
+	if m.ShardRestarts != 1 || m.Quarantined != 0 {
+		t.Fatalf("restarts %d quarantined %d; want exactly 1 restart, 0 quarantines", m.ShardRestarts, m.Quarantined)
+	}
+	checkConservation(t, s)
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("alert %s: %d with panic, %d without", k, got[k], n)
+		}
+	}
+	for k, n := range got {
+		if want[k] != n {
+			t.Errorf("spurious alert %s after restart: %d vs %d", k, n, want[k])
+		}
+	}
+}
+
+// TestPoisonedEventQuarantinedAndSkippedOnReplay: an event that panics
+// on every attempt is retried MaxEventRetries times, then quarantined —
+// durably, so recovery after a crash skips it instead of re-entering
+// the crash loop.
+func TestPoisonedEventQuarantinedAndSkippedOnReplay(t *testing.T) {
+	events, err := generatedEvents(logsim.Profiles()[2], 8, 4, 3, 133)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := freshPipeline(t)
+	lab := p.Labeler()
+
+	// Pick a victim that is non-Safe (reaches a shard) and unique by
+	// quarantine identity, so exactly one quarantine fires.
+	counts := map[string]int{}
+	nonSafe := 0
+	for _, ev := range events {
+		counts[persist.EventQuarantineKey(ev.Time, ev.Node, ev.Key)]++
+		if lab.Label(ev.Key) != catalog.Safe {
+			nonSafe++
+		}
+	}
+	victim := ""
+	for _, ev := range events[len(events)/10:] {
+		k := persist.EventQuarantineKey(ev.Time, ev.Node, ev.Key)
+		if lab.Label(ev.Key) != catalog.Safe && counts[k] == 1 {
+			victim = k
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatal("no unique non-Safe event to poison")
+	}
+	hook := func(_ int, ev logparse.EncodedEvent) {
+		if quarantineKeyOf(ev) == victim {
+			panic("poisoned event")
+		}
+	}
+
+	dir := t.TempDir()
+	mkOpts := func() []Option {
+		return []Option{
+			WithShards(2),
+			WithStateDir(dir),
+			WithMaxEventRetries(3),
+			WithRestartBackoff(time.Millisecond),
+			WithSnapshotEvery(time.Hour),
+			WithAlertBuffer(8192),
+			withPanicHook(hook),
+		}
+	}
+	s, err := New(p, mkOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wait := collectAlerts(s)
+	for _, ev := range events {
+		if err := s.IngestEvent(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let the shards drain fully (the victim included) before killing
+	// the process, so the quarantine decision is what recovery sees.
+	waitUntil(t, 10*time.Second, "shards to drain", func() bool {
+		return s.met.Processed.Load()+s.met.Quarantined.Load() == int64(nonSafe)
+	})
+	s.crash()
+	wait()
+	m := s.SnapshotMetrics()
+	if m.Quarantined != 1 {
+		t.Fatalf("quarantined %d events, want 1", m.Quarantined)
+	}
+	if m.ShardRestarts != 3 {
+		t.Fatalf("shard restarted %d times, want 3 (MaxEventRetries)", m.ShardRestarts)
+	}
+
+	// Recovery replays the WAL with the same poisoned event in it — and
+	// must skip it via its durable quarantine record, not panic again.
+	s2, err := New(freshPipeline(t), mkOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wait2 := collectAlerts(s2)
+	m2 := s2.SnapshotMetrics()
+	if m2.Quarantined != 0 || m2.ShardRestarts != 0 {
+		t.Fatalf("replay re-hit the poisoned event: quarantined %d, restarts %d", m2.Quarantined, m2.ShardRestarts)
+	}
+	if m2.ReplayedEvents != int64(nonSafe-1) {
+		t.Fatalf("replayed %d events, want %d (all non-Safe minus the quarantined one)", m2.ReplayedEvents, nonSafe-1)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wait2()
+	checkConservation(t, s2)
+}
+
+// TestNoGoroutineLeakAcrossRestarts: every incarnation — graceful or
+// crashed — must release all its goroutines (shards, supervisor
+// restarts, snapshot loop, idle flusher).
+func TestNoGoroutineLeakAcrossRestarts(t *testing.T) {
+	events, err := generatedEvents(logsim.Profiles()[2], 6, 2, 2, 135)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	dir := t.TempDir()
+	for i := 0; i < 4; i++ {
+		s, err := New(freshPipeline(t),
+			WithShards(4),
+			WithStateDir(dir),
+			WithIdleFlush(50*time.Millisecond),
+			WithAlertBuffer(4096),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, wait := collectAlerts(s)
+		for _, ev := range events {
+			if err := s.IngestEvent(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%2 == 0 {
+			s.crash()
+		} else if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		wait()
+	}
+	waitUntil(t, 5*time.Second, "goroutines to settle", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= before+2
+	})
+}

@@ -20,8 +20,10 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"desh/internal/catalog"
@@ -29,6 +31,7 @@ import (
 	"desh/internal/core"
 	"desh/internal/label"
 	"desh/internal/logparse"
+	"desh/internal/persist/faultfs"
 )
 
 // ErrClosed is returned by ingest entry points after Close.
@@ -100,8 +103,46 @@ type Options struct {
 	// without a terminal message stops logging; this is how its last
 	// episode still gets scored promptly.
 	IdleFlush time.Duration
+	// StateDir enables crash-safe operation: per-node state snapshots
+	// and a write-ahead log of ingested events live here, and New
+	// recovers from them — restored open chains, dedup state and a WAL
+	// tail replay — before accepting new events. Empty disables
+	// persistence entirely.
+	StateDir string
+	// SnapshotEvery is the wall-clock period between state snapshots
+	// (default 30s). Between snapshots, recovery replays the WAL tail.
+	SnapshotEvery time.Duration
+	// WALSyncEvery is the fsync cadence of the write-ahead log in
+	// records (default 64). Every record reaches the OS before its
+	// ingest call returns, so a killed process loses nothing; an OS
+	// crash loses at most the last WALSyncEvery records.
+	WALSyncEvery int
+	// MaxEventRetries is how many times a shard retries an event whose
+	// processing panicked before quarantining it as poisoned
+	// (default 3).
+	MaxEventRetries int
+	// RestartBackoff is the base delay before a panicked shard
+	// restarts; it doubles per consecutive crash (jittered, capped at
+	// 1s) and resets on the first successfully processed event
+	// (default 10ms).
+	RestartBackoff time.Duration
+	// MaxConns caps concurrent ServeLines connections; excess accepts
+	// are counted and closed immediately (default 256).
+	MaxConns int
+	// ConnIdleTimeout drops a ServeLines connection that goes this long
+	// without delivering a byte (default 5m; 0 disables).
+	ConnIdleTimeout time.Duration
+	// MaxBodyBytes bounds one HTTP ingest request body (default 8 MiB).
+	MaxBodyBytes int64
 
 	ctx context.Context
+	// fsys overrides the persistence filesystem — the fault-injection
+	// seam used by the crash tests (default: the real OS).
+	fsys faultfs.FS
+	// panicHook, when set, runs before every event a shard processes —
+	// the deterministic panic-injection seam used by the supervisor
+	// tests.
+	panicHook func(shardID int, ev logparse.EncodedEvent)
 }
 
 // Option mutates Options.
@@ -136,14 +177,57 @@ func WithIdleFlush(d time.Duration) Option { return func(o *Options) { o.IdleFlu
 // triggers the same graceful drain as Close.
 func WithContext(ctx context.Context) Option { return func(o *Options) { o.ctx = ctx } }
 
+// WithStateDir enables crash-safe snapshots + WAL in dir (empty
+// disables persistence).
+func WithStateDir(dir string) Option { return func(o *Options) { o.StateDir = dir } }
+
+// WithSnapshotEvery sets the snapshot period (default 30s).
+func WithSnapshotEvery(d time.Duration) Option { return func(o *Options) { o.SnapshotEvery = d } }
+
+// WithWALSyncEvery sets the WAL fsync cadence in records (default 64).
+func WithWALSyncEvery(n int) Option { return func(o *Options) { o.WALSyncEvery = n } }
+
+// WithMaxEventRetries sets how many panics one event may cause before
+// it is quarantined (default 3).
+func WithMaxEventRetries(n int) Option { return func(o *Options) { o.MaxEventRetries = n } }
+
+// WithRestartBackoff sets the base shard-restart backoff (default
+// 10ms).
+func WithRestartBackoff(d time.Duration) Option { return func(o *Options) { o.RestartBackoff = d } }
+
+// WithMaxConns caps concurrent ServeLines connections (default 256).
+func WithMaxConns(n int) Option { return func(o *Options) { o.MaxConns = n } }
+
+// WithConnIdleTimeout drops silent ServeLines connections (default 5m,
+// 0 disables).
+func WithConnIdleTimeout(d time.Duration) Option { return func(o *Options) { o.ConnIdleTimeout = d } }
+
+// WithMaxBodyBytes bounds one HTTP ingest body (default 8 MiB).
+func WithMaxBodyBytes(n int64) Option { return func(o *Options) { o.MaxBodyBytes = n } }
+
+// withFS overrides the persistence filesystem (crash-test seam).
+func withFS(fsys faultfs.FS) Option { return func(o *Options) { o.fsys = fsys } }
+
+// withPanicHook installs the shard panic-injection seam (test-only).
+func withPanicHook(fn func(int, logparse.EncodedEvent)) Option {
+	return func(o *Options) { o.panicHook = fn }
+}
+
 func defaultOptions() Options {
 	return Options{
-		Shards:        runtime.GOMAXPROCS(0),
-		QueueDepth:    1024,
-		Policy:        Block,
-		AlertBuffer:   256,
-		QuietPeriod:   2 * time.Minute,
-		MaxOpenWindow: 4096,
+		Shards:          runtime.GOMAXPROCS(0),
+		QueueDepth:      1024,
+		Policy:          Block,
+		AlertBuffer:     256,
+		QuietPeriod:     2 * time.Minute,
+		MaxOpenWindow:   4096,
+		SnapshotEvery:   30 * time.Second,
+		WALSyncEvery:    64,
+		MaxEventRetries: 3,
+		RestartBackoff:  10 * time.Millisecond,
+		MaxConns:        256,
+		ConnIdleTimeout: 5 * time.Minute,
+		MaxBodyBytes:    8 << 20,
 	}
 }
 
@@ -161,11 +245,20 @@ type Streamer struct {
 	alerts chan Alert
 	met    Metrics
 
+	// pst is the crash-recovery state (nil without WithStateDir).
+	pst *persister
+	// replaying is true only inside New's single-threaded WAL replay;
+	// emit consults the alert ledger while it is set.
+	replaying bool
+	// crashed is the test seam simulating SIGKILL: shards stop
+	// mid-queue without draining or flushing.
+	crashed atomic.Bool
+
 	mu     sync.RWMutex // guards closed against in-flight ingests
 	closed bool
 	done   chan struct{}
 	wg     sync.WaitGroup // shard goroutines
-	bgWG   sync.WaitGroup // idle-flush / context watchers
+	bgWG   sync.WaitGroup // idle-flush / snapshot loops
 }
 
 // New builds a streamer over a trained pipeline. The pipeline's
@@ -191,6 +284,10 @@ func New(p *core.Pipeline, options ...Option) (*Streamer, error) {
 	if opts.QuietPeriod < 0 || opts.IdleFlush < 0 || opts.MaxOpenWindow < 0 {
 		return nil, fmt.Errorf("stream: negative duration or window option")
 	}
+	if opts.SnapshotEvery <= 0 || opts.MaxEventRetries < 1 || opts.RestartBackoff <= 0 ||
+		opts.MaxConns < 1 || opts.ConnIdleTimeout < 0 || opts.MaxBodyBytes < 1 {
+		return nil, fmt.Errorf("stream: non-positive robustness option")
+	}
 	chainCfg := p.Config().ChainCfg
 	if opts.MaxOpenWindow > 0 && opts.MaxOpenWindow < chainCfg.MinLen {
 		return nil, fmt.Errorf("stream: MaxOpenWindow %d below chain MinLen %d", opts.MaxOpenWindow, chainCfg.MinLen)
@@ -208,7 +305,7 @@ func New(p *core.Pipeline, options ...Option) (*Streamer, error) {
 		sh := &shard{
 			s:     s,
 			id:    i,
-			ch:    make(chan logparse.EncodedEvent, opts.QueueDepth),
+			ch:    make(chan shardMsg, opts.QueueDepth),
 			det:   p.NewDetector(),
 			nodes: make(map[string]*nodeState),
 		}
@@ -216,12 +313,27 @@ func New(p *core.Pipeline, options ...Option) (*Streamer, error) {
 			sh.flushC = make(chan time.Time, 1)
 		}
 		s.shards[i] = sh
+	}
+	// Recovery runs before any goroutine starts: shard state is
+	// restored and the WAL tail replayed single-threaded, so the
+	// supervisor and ingest paths never observe a half-recovered
+	// streamer.
+	if opts.StateDir != "" {
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
+	}
+	for _, sh := range s.shards {
 		s.wg.Add(1)
 		go sh.run()
 	}
 	if opts.IdleFlush > 0 {
 		s.bgWG.Add(1)
 		go s.idleFlushLoop()
+	}
+	if s.pst != nil {
+		s.bgWG.Add(1)
+		go s.snapshotLoop()
 	}
 	if opts.ctx != nil {
 		ctx := opts.ctx
@@ -259,6 +371,16 @@ func (s *Streamer) SnapshotMetrics() MetricsSnapshot {
 		AlertsFired:      s.met.AlertsFired.Load(),
 		AlertsSuppressed: s.met.AlertsSuppressed.Load(),
 		AlertsDropped:    s.met.AlertsDropped.Load(),
+		Processed:        s.met.Processed.Load(),
+		Oversized:        s.met.Oversized.Load(),
+		Quarantined:      s.met.Quarantined.Load(),
+		ShardRestarts:    s.met.ShardRestarts.Load(),
+		Snapshots:        s.met.Snapshots.Load(),
+		SnapshotErrors:   s.met.SnapshotErrors.Load(),
+		WALErrors:        s.met.WALErrors.Load(),
+		ReplayedEvents:   s.met.ReplayedEvents.Load(),
+		ReplaySuppressed: s.met.ReplaySuppressed.Load(),
+		ConnRejected:     s.met.ConnRejected.Load(),
 		Detect:           s.met.Detect.Snapshot(),
 	}
 	snap.QueueDepths = make([]int, len(s.shards))
@@ -301,14 +423,21 @@ func (s *Streamer) IngestEvent(ev logparse.Event) error {
 		s.met.SafeFiltered.Add(1)
 		return nil
 	}
+	// Write-ahead: the event is durable before it is queued, so a crash
+	// between here and processing replays it. A failed append degrades
+	// to in-memory operation for this event (alerting now beats
+	// durability later) and is counted.
+	if s.pst != nil {
+		s.pst.appendEvent(s, ev)
+	}
 	enc := logparse.EncodedEvent{Event: ev, ID: s.encodeKey(ev.Key)}
 	sh := s.shards[s.shardOf(ev.Node)]
 	if s.opts.Policy == Block {
-		sh.ch <- enc
+		sh.ch <- shardMsg{ev: enc}
 		return nil
 	}
 	select {
-	case sh.ch <- enc:
+	case sh.ch <- shardMsg{ev: enc}:
 	default:
 		s.met.Dropped.Add(1)
 	}
@@ -334,6 +463,15 @@ func (s *Streamer) Close() error {
 	s.wg.Wait()
 	s.bgWG.Wait()
 	close(s.alerts)
+	// Final snapshot: the drain flushed every open episode, so the
+	// snapshot is small (dedup state only) and covers the whole WAL —
+	// a restart after a graceful shutdown replays nothing.
+	if s.pst != nil {
+		if err := s.pst.finalSnapshot(s); err != nil {
+			s.met.SnapshotErrors.Add(1)
+			return fmt.Errorf("stream: final snapshot: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -393,16 +531,153 @@ func isBlank(line string) bool {
 	return true
 }
 
+// shardMsg is one unit of shard work: an event to process, or — when
+// snap is non-nil — a snapshot barrier. Barriers ride the same FIFO
+// queue as events, which is what makes a captured state consistent
+// with a WAL boundary: every event appended before the boundary is
+// ahead of the barrier in the queue, every later one behind it.
+type shardMsg struct {
+	ev   logparse.EncodedEvent
+	snap chan<- map[string]persistedNode
+}
+
 // shard owns a partition of the node space: its goroutine is the only
 // one touching its trackers, detector and per-node alert state, so the
 // hot path takes no locks.
 type shard struct {
 	s      *Streamer
 	id     int
-	ch     chan logparse.EncodedEvent
+	ch     chan shardMsg
 	flushC chan time.Time // nil unless IdleFlush is enabled
 	det    *core.Detector
 	nodes  map[string]*nodeState
+
+	// Supervisor state, touched only by the shard goroutine and its
+	// restart bookkeeping.
+	inflight    logparse.EncodedEvent
+	hasInflight bool
+	retry       bool // reprocess inflight on restart
+	restarts    int  // consecutive restarts, resets on progress
+	poisonKey   string
+	poisonCount int
+	rng         *rand.Rand
+}
+
+// run is the shard supervisor: it re-enters the processing loop after
+// every recovered panic with exponential backoff + jitter, retries the
+// in-flight event up to MaxEventRetries before quarantining it, and
+// only drains (flushes open episodes) on a graceful close.
+func (sh *shard) run() {
+	defer sh.s.wg.Done()
+	for sh.runLoop() {
+		sh.backoff()
+	}
+	if !sh.s.crashed.Load() {
+		sh.drain()
+	}
+}
+
+// runLoop processes messages until the queue closes (returns false) or
+// a panic escapes an event (returns true: restart wanted). The panic
+// is recovered here — one poisoned event never takes down the daemon —
+// and attributed to the in-flight event for quarantine accounting.
+func (sh *shard) runLoop() (panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			sh.s.met.ShardRestarts.Add(1)
+			sh.restarts++
+			sh.notePanic()
+		}
+	}()
+	if sh.retry {
+		sh.retry = false
+		sh.process(sh.inflight)
+	}
+	if sh.flushC == nil {
+		for m := range sh.ch {
+			if sh.s.crashed.Load() {
+				return false
+			}
+			sh.dispatch(m)
+		}
+		return false
+	}
+	for {
+		select {
+		case m, ok := <-sh.ch:
+			if !ok || sh.s.crashed.Load() {
+				return false
+			}
+			sh.dispatch(m)
+		case now := <-sh.flushC:
+			sh.idleFlush(now)
+		}
+	}
+}
+
+func (sh *shard) dispatch(m shardMsg) {
+	if m.snap != nil {
+		m.snap <- sh.capture()
+		return
+	}
+	sh.process(m.ev)
+}
+
+// process runs one event through the shard with crash attribution.
+func (sh *shard) process(ev logparse.EncodedEvent) {
+	sh.inflight = ev
+	sh.hasInflight = true
+	if hook := sh.s.opts.panicHook; hook != nil {
+		hook(sh.id, ev)
+	}
+	sh.handle(ev)
+	sh.hasInflight = false
+	sh.restarts = 0
+	sh.s.met.Processed.Add(1)
+}
+
+// notePanic attributes a recovered panic to the in-flight event and
+// decides between retry and quarantine.
+func (sh *shard) notePanic() {
+	if !sh.hasInflight {
+		// Panic outside event processing (barrier/flush); nothing to
+		// retry.
+		return
+	}
+	sh.hasInflight = false
+	key := quarantineKeyOf(sh.inflight)
+	if key == sh.poisonKey {
+		sh.poisonCount++
+	} else {
+		sh.poisonKey, sh.poisonCount = key, 1
+	}
+	if sh.poisonCount >= sh.s.opts.MaxEventRetries {
+		sh.s.met.Quarantined.Add(1)
+		if sh.s.pst != nil {
+			sh.s.pst.appendQuarantine(sh.s, sh.inflight)
+		}
+		sh.poisonKey, sh.poisonCount = "", 0
+		return
+	}
+	sh.retry = true
+}
+
+// backoff sleeps before a restart: base * 2^(restarts-1), jittered
+// ±50%, capped at 1s, and cut short by shutdown.
+func (sh *shard) backoff() {
+	if sh.rng == nil {
+		sh.rng = rand.New(rand.NewSource(int64(sh.id)*7919 + 1))
+	}
+	d := sh.s.opts.RestartBackoff << (sh.restarts - 1)
+	if max := time.Second; d > max || d <= 0 {
+		d = time.Second
+	}
+	d = d/2 + time.Duration(sh.rng.Int63n(int64(d)))
+	select {
+	case <-time.After(d):
+	case <-sh.s.done:
+	}
 }
 
 // nodeState is one node's streaming state: its incremental chain
@@ -423,29 +698,6 @@ type nodeState struct {
 	openAlerted bool
 	wasOpen     bool
 	evicted     int64 // tracker.Dropped at last sync
-}
-
-func (sh *shard) run() {
-	defer sh.s.wg.Done()
-	if sh.flushC == nil {
-		for ev := range sh.ch {
-			sh.handle(ev)
-		}
-	} else {
-	loop:
-		for {
-			select {
-			case ev, ok := <-sh.ch:
-				if !ok {
-					break loop
-				}
-				sh.handle(ev)
-			case now := <-sh.flushC:
-				sh.idleFlush(now)
-			}
-		}
-	}
-	sh.drain()
 }
 
 // state returns (building on demand) the node's streaming state.
@@ -517,7 +769,10 @@ func (sh *shard) judge(ns *nodeState, c chain.Chain) {
 
 // emit runs the dedup state machine and delivers the alert without ever
 // blocking the shard: a full subscriber channel drops the alert and
-// counts it.
+// counts it. During boot-time WAL replay, alerts the pre-crash process
+// already delivered (per the WAL's alert ledger) update dedup state
+// but are not re-delivered — that is what makes crash + recover emit
+// each alert exactly once.
 func (sh *shard) emit(ns *nodeState, a Alert) {
 	q := sh.s.opts.QuietPeriod
 	if q > 0 && ns.alerted && a.FlaggedAt.Sub(ns.lastAlertAt) < q {
@@ -526,12 +781,40 @@ func (sh *shard) emit(ns *nodeState, a Alert) {
 	}
 	ns.alerted = true
 	ns.lastAlertAt = a.FlaggedAt
+	if sh.s.replaying && sh.s.pst != nil && sh.s.pst.ledgerTake(a) {
+		sh.s.met.ReplaySuppressed.Add(1)
+		return
+	}
 	sh.s.met.AlertsFired.Add(1)
+	// The alert becomes durable before it is delivered: a crash between
+	// the two loses it (at-most-once per alert), while the reverse
+	// order would duplicate it on replay. Lost-on-that-exact-instant is
+	// recoverable by the operator (the WAL holds the chain); a
+	// duplicated page is not.
+	if sh.s.pst != nil {
+		sh.s.pst.appendAlert(sh.s, a)
+	}
 	select {
 	case sh.s.alerts <- a:
 	default:
 		sh.s.met.AlertsDropped.Add(1)
 	}
+}
+
+// capture snapshots every node this shard owns — called at a barrier,
+// so the state is exactly the effect of all events before the
+// snapshot's WAL boundary.
+func (sh *shard) capture() map[string]persistedNode {
+	out := make(map[string]persistedNode, len(sh.nodes))
+	for node, ns := range sh.nodes {
+		out[node] = persistedNode{
+			Tracker:     ns.tracker.Snapshot(),
+			Alerted:     ns.alerted,
+			LastAlertAt: ns.lastAlertAt,
+			OpenAlerted: ns.openAlerted,
+		}
+	}
+	return out
 }
 
 func (sh *shard) syncOpenGauge(ns *nodeState) {
