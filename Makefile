@@ -27,11 +27,13 @@ verify: build test vet race
 bench: verify
 	$(GO) test -bench=. -benchmem -count=5 | tee bench.txt
 
-# fuzz exercises the network-facing line parser beyond its committed
-# seed corpus (which `test` already replays as regular cases).
+# fuzz exercises the network-facing line parser and the event-time
+# reorder buffer beyond their committed seed corpora (which `test`
+# already replays as regular cases).
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/logparse/ -fuzz FuzzParseLine -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/stream/ -run '^$$' -fuzz FuzzReorderBuffer -fuzztime $(FUZZTIME)
 
 # run-deshd is the daemon smoke test: generate a log, train a small
 # model, replay the log through deshd, and assert it raises at least

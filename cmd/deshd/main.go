@@ -19,6 +19,14 @@
 // counters over expvar. SIGINT/SIGTERM drain every ingested event
 // before exit; -once exits as soon as -in is fully drained (replay
 // mode, used by the Makefile smoke test).
+//
+// Aggregated feeds deliver events out of order, duplicated, and
+// occasionally from nodes with broken clocks: -allowed-lateness buffers
+// and reorders per node, -dedup-window suppresses re-delivered lines,
+// -skew-tolerance quarantines far-future timestamps, and
+// -shed-policy degrade trades the least valuable events for liveness
+// under overload (see the exit summary's "disorder:" line and the
+// matching /metrics counters).
 package main
 
 import (
@@ -60,6 +68,11 @@ func run() error {
 	once := flag.Bool("once", false, "exit after -in reaches EOF and all events drain (replay mode)")
 	stateDir := flag.String("state-dir", "", "crash-recovery state directory (snapshots + WAL); empty disables persistence")
 	snapEvery := flag.Duration("snapshot-every", 30*time.Second, "period between state snapshots (with -state-dir)")
+	lateness := flag.Duration("allowed-lateness", 0, "per-node event-time reorder window (0 disables reordering)")
+	late := flag.String("late", "feed", `late-event policy: "feed" (clamped timestamp) or "drop"`)
+	dedup := flag.Int("dedup-window", 0, "per-node duplicate-suppression ring size (0 disables)")
+	skew := flag.Duration("skew-tolerance", 0, "quarantine events this far ahead of the local clock (0 disables)")
+	shed := flag.String("shed-policy", "off", `overload degradation: "off" or "degrade" (walk shed levels under pressure)`)
 	flag.Parse()
 
 	mf, err := os.Open(*model)
@@ -89,6 +102,33 @@ func run() error {
 		opts = append(opts, desh.WithStateDir(*stateDir), desh.WithSnapshotEvery(*snapEvery))
 		fmt.Fprintf(os.Stderr, "deshd: crash recovery enabled, state in %s\n", *stateDir)
 	}
+	if *lateness > 0 {
+		opts = append(opts, desh.WithAllowedLateness(*lateness))
+	}
+	switch *late {
+	case "feed":
+		opts = append(opts, desh.WithLatePolicy(desh.StreamLateFeed))
+	case "drop":
+		opts = append(opts, desh.WithLatePolicy(desh.StreamLateDrop))
+	default:
+		return fmt.Errorf("-late must be feed or drop, got %q", *late)
+	}
+	if *dedup > 0 {
+		opts = append(opts, desh.WithDedupWindow(*dedup))
+	}
+	if *skew > 0 {
+		opts = append(opts, desh.WithSkewTolerance(*skew))
+	}
+	switch *shed {
+	case "off":
+	case "degrade":
+		opts = append(opts, desh.WithShedPolicy(desh.StreamShedDegrade))
+	default:
+		return fmt.Errorf("-shed-policy must be off or degrade, got %q", *shed)
+	}
+	opts = append(opts, desh.WithStreamDiag(func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "deshd: "+format+"\n", args...)
+	}))
 	s, err := desh.NewStreamer(p, opts...)
 	if err != nil {
 		return err
@@ -207,5 +247,9 @@ func run() error {
 		snap.Ingested, snap.SafeFiltered, snap.Malformed, snap.Oversized, snap.Dropped, snap.Quarantined,
 		snap.ChainsClosed, snap.AlertsFired, snap.AlertsSuppressed, snap.AlertsDropped,
 		snap.ShardRestarts, snap.Detect.P50Micros, snap.Detect.P99Micros)
+	fmt.Fprintf(os.Stderr,
+		"deshd: disorder: late %d (dropped %d, clamped %d), duplicates %d, skew-quarantined %d, reorder overflow %d, window evicted %d, shed %d (max level %d)\n",
+		snap.Late, snap.LateDropped, snap.LateClamped, snap.Duplicates, snap.SkewQuarantined,
+		snap.ReorderOverflow, snap.WindowEvicted, snap.Shed, snap.ShedLevelMax)
 	return nil
 }

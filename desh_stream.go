@@ -46,6 +46,23 @@ const (
 	StreamDropNewest = stream.DropNewest
 )
 
+// Late-event policies for WithLatePolicy.
+const (
+	// StreamLateFeed feeds late events to the chain tracker anyway; the
+	// tracker clamps their timestamp forward so ΔT never goes negative.
+	StreamLateFeed = stream.LateFeed
+	// StreamLateDrop discards events that miss their reorder window.
+	StreamLateDrop = stream.LateDrop
+)
+
+// Overload policies for WithShedPolicy.
+const (
+	// StreamShedOff disables graceful degradation (default).
+	StreamShedOff = stream.ShedOff
+	// StreamShedDegrade enables the level-walking overload controller.
+	StreamShedDegrade = stream.ShedDegrade
+)
+
 // NewStreamer turns a trained predictor into an online inference
 // engine. Feed it lines (IngestLine, IngestReader, ServeLines or the
 // HTTP ingest handler) and range over Alerts():
@@ -133,3 +150,45 @@ func WithConnIdleTimeout(d time.Duration) StreamOption { return stream.WithConnI
 
 // WithMaxBodyBytes bounds one HTTP ingest request body (default 8 MiB).
 func WithMaxBodyBytes(n int64) StreamOption { return stream.WithMaxBodyBytes(n) }
+
+// WithAllowedLateness enables per-node event-time reordering: events
+// buffer until the node's watermark (max seen timestamp minus d) passes
+// them, so bounded arrival disorder is invisible to the ΔT math. 0 (the
+// default) disables the reorder buffer.
+func WithAllowedLateness(d time.Duration) StreamOption { return stream.WithAllowedLateness(d) }
+
+// WithReorderDepth bounds each node's reorder buffer (default 512);
+// when full, the earliest buffered event releases ahead of the
+// watermark (counted in reorder_overflow).
+func WithReorderDepth(n int) StreamOption { return stream.WithReorderDepth(n) }
+
+// WithLatePolicy selects what happens to events that miss their reorder
+// window: StreamLateFeed (default — fed with a clamped timestamp) or
+// StreamLateDrop.
+func WithLatePolicy(p stream.LatePolicy) StreamOption { return stream.WithLatePolicy(p) }
+
+// WithDedupWindow suppresses re-delivered duplicates: each node
+// remembers its last n accepted (timestamp, phrase) pairs and drops
+// repeats — retried TCP batches fire each alert once. 0 (the default)
+// disables dedup.
+func WithDedupWindow(n int) StreamOption { return stream.WithDedupWindow(n) }
+
+// WithSkewTolerance quarantines events whose timestamp leads the local
+// clock by more than d — a node with a broken clock is counted and
+// diagnosed, never crashed on or allowed to poison watermarks. 0 (the
+// default) disables the guard.
+func WithSkewTolerance(d time.Duration) StreamOption { return stream.WithSkewTolerance(d) }
+
+// WithShedPolicy selects the overload behavior: StreamShedOff (default)
+// or StreamShedDegrade, which walks through explicit degradation levels
+// (shrink lateness, shed Unknown-labeled events, per-node fair random
+// shedding) as queue depth or detect latency climbs, and walks back
+// when the overload passes.
+func WithShedPolicy(p stream.ShedPolicy) StreamOption { return stream.WithShedPolicy(p) }
+
+// WithStreamDiag routes one-line operational diagnostics (clock-skew
+// quarantines, shed level transitions) to fn; nil (the default)
+// discards them.
+func WithStreamDiag(fn func(format string, args ...any)) StreamOption {
+	return stream.WithDiag(fn)
+}

@@ -40,6 +40,7 @@ type Tracker struct {
 	last    time.Time
 	hasLast bool
 	dropped int64
+	late    int64
 }
 
 // NewTracker builds an incremental segmenter for one node's events.
@@ -67,18 +68,33 @@ func (t *Tracker) OpenLen() int { return len(t.cur) }
 // Dropped returns how many events the MaxOpen window bound has evicted.
 func (t *Tracker) Dropped() int64 { return t.dropped }
 
+// LateClamped returns how many fed events carried a timestamp older
+// than the event before them and had it clamped forward (see Feed).
+func (t *Tracker) LateClamped() int64 { return t.late }
+
 // Feed ingests one event and returns any chains it closed, in closing
 // order. Safe-labeled events are ignored (the §3.1 "Safe phrases are
 // eliminated" step). A single Feed can close up to two chains: a gap
 // past MaxGap closes the previous episode before the event is appended,
 // and a terminal event closes the episode it just joined. Episodes
 // shorter than MinLen are discarded silently, as in batch Episodes.
+//
+// Events that arrive with a timestamp older than the previous fed
+// event (late deliveries the streaming layer chose to feed anyway) are
+// clamped forward to that previous timestamp and counted in
+// LateClamped: the chain keeps a non-decreasing time axis, so a late
+// straggler can neither split an episode with a spurious negative gap
+// nor push any entry's ΔT negative.
 func (t *Tracker) Feed(ev logparse.EncodedEvent) ([]Chain, error) {
 	if ev.Node != t.node {
 		return nil, fmt.Errorf("chain: tracker for %s fed event from %s", t.node, ev.Node)
 	}
 	if t.lab.Label(ev.Key) == catalog.Safe {
 		return nil, nil
+	}
+	if t.hasLast && ev.Time.Before(t.last) {
+		ev.Time = t.last
+		t.late++
 	}
 	var closed []Chain
 	if t.hasLast && ev.Time.Sub(t.last) > t.cfg.MaxGap {
@@ -131,6 +147,7 @@ type TrackerState struct {
 	Last    time.Time
 	HasLast bool
 	Dropped int64
+	Late    int64
 }
 
 // Snapshot captures the tracker's state. The returned state owns its
@@ -141,6 +158,7 @@ func (t *Tracker) Snapshot() TrackerState {
 		Last:    t.last,
 		HasLast: t.hasLast,
 		Dropped: t.dropped,
+		Late:    t.late,
 	}
 }
 
@@ -153,6 +171,7 @@ func (t *Tracker) Restore(st TrackerState) {
 	t.last = st.Last
 	t.hasLast = st.HasLast
 	t.dropped = st.Dropped
+	t.late = st.Late
 }
 
 func (t *Tracker) flush(terminal bool) (Chain, bool) {

@@ -293,3 +293,59 @@ func TestTrackerSnapshotRestoreContinues(t *testing.T) {
 		t.Fatalf("only %d nodes checked", checked)
 	}
 }
+
+// TestTrackerClampsLateEvents: a fed event older than its predecessor
+// (a late delivery the streaming layer chose to feed anyway) is clamped
+// forward to the previous timestamp — no spurious gap split, no
+// negative ΔT anywhere in the closed chain — and the clamp count rides
+// Snapshot/Restore.
+func TestTrackerClampsLateEvents(t *testing.T) {
+	cfg := DefaultConfig()
+	tr, err := NewTracker("n", label.New(), cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := func(e logparse.EncodedEvent) {
+		t.Helper()
+		if _, err := tr.Feed(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	feed(ev("n", "DVS: Verify Filesystem *", 1, 0))
+	feed(ev("n", "LustreError: * failed md_getattr err *", 2, 40))
+	// Late: 30s < 40s. Unclamped this would read as a -10s step; worse, a
+	// very old timestamp would look like a > MaxGap jump and split the
+	// episode.
+	feed(ev("n", "Trap invalid code * Error *", 3, 30))
+	feed(ev("n", "Out of memory: Killed process *", 4, -500))
+	if got := tr.LateClamped(); got != 2 {
+		t.Fatalf("late clamped %d, want 2", got)
+	}
+	if tr.OpenLen() != 4 {
+		t.Fatalf("open window %d, want 4 (late events must not split the episode)", tr.OpenLen())
+	}
+	c, ok := tr.Flush()
+	if !ok {
+		t.Fatal("flush must close the episode")
+	}
+	for i, e := range c.Entries {
+		if e.DeltaT < 0 {
+			t.Fatalf("entry %d has negative ΔT %v", i, e.DeltaT)
+		}
+		if i > 0 && e.Time.Before(c.Entries[i-1].Time) {
+			t.Fatalf("entry %d time %v precedes entry %d time %v", i, e.Time, i-1, c.Entries[i-1].Time)
+		}
+	}
+
+	// The counter is part of the durable state.
+	feed(ev("n", "DVS: Verify Filesystem *", 1, 600))
+	feed(ev("n", "LustreError: * failed md_getattr err *", 2, 100))
+	restored, err := NewTracker("n", label.New(), cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored.Restore(tr.Snapshot())
+	if restored.LateClamped() != tr.LateClamped() || restored.LateClamped() != 3 {
+		t.Fatalf("restored clamp count %d, want %d (and 3)", restored.LateClamped(), tr.LateClamped())
+	}
+}

@@ -3,6 +3,7 @@ package logparse
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"desh/internal/catalog"
 )
@@ -31,6 +32,9 @@ func FuzzParseLine(f *testing.F) {
 		"2026-13-45T99:99:99.000000 c0-0c0s7n0 out-of-range fields",
 		"2026-01-01T00:00:29.001362 c\x00weird n\xffon-utf8 \xf0\x28\x8c\x28",
 		"2026-01-01T00:00:29.001362 c0 tab\tand\nnewline inside",
+		"0001-01-01T00:00:00.000000 c0-0c0s7n0 zero-value timestamp",
+		"1999-12-31T23:59:59.999999 c0-0c0s7n0 pre-2000 reset RTC",
+		"2999-01-01T00:00:00.000000 c0-0c0s7n0 absurd future timestamp",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -48,6 +52,12 @@ func FuzzParseLine(f *testing.F) {
 		}
 		if ev.Key != catalog.Mask(ev.Message) {
 			t.Fatalf("key %q is not the mask of message %q", ev.Key, ev.Message)
+		}
+		// Timestamp sanity: accepted events must carry a clock the
+		// downstream ΔT math can trust — never zero, never pre-2000,
+		// never more than a day ahead of the local clock.
+		if ev.Time.IsZero() || ev.Time.Year() < 2000 || ev.Time.After(time.Now().Add(24*time.Hour)) {
+			t.Fatalf("accepted absurd timestamp %v (line %q)", ev.Time, line)
 		}
 		// Accepted events must survive a render/re-parse round trip: the
 		// streaming path re-renders events into lines for transport.

@@ -18,6 +18,44 @@ import (
 // TimeLayout is the timestamp format of generated Cray-style lines.
 const TimeLayout = "2006-01-02T15:04:05.000000"
 
+// maxFuture bounds how far ahead of the local clock an event timestamp
+// may sit before ParseLine rejects it as absurd. Producer clocks a few
+// seconds fast are the streaming layer's skew-guard problem; a timestamp
+// a day in the future is corruption.
+const maxFuture = 24 * time.Hour
+
+// parseNow is the clock ParseLine judges future timestamps against;
+// a variable so tests can pin it.
+var parseNow = time.Now
+
+// TimestampError reports a syntactically valid but semantically absurd
+// timestamp: the zero value, pre-2000 (Cray XC systems postdate 2000, so
+// such stamps mean a reset RTC), or more than 24h ahead of the local
+// clock. It wraps no parse error — the layout matched; the value lies.
+type TimestampError struct {
+	Time   time.Time
+	Reason string
+}
+
+func (e *TimestampError) Error() string {
+	return fmt.Sprintf("logparse: absurd timestamp %s (%s)", e.Time.Format(TimeLayout), e.Reason)
+}
+
+// validTimestamp rejects zero-value and absurd timestamps. It returns a
+// *TimestampError so callers can distinguish "clock lies" from
+// "unparseable line".
+func validTimestamp(ts time.Time) error {
+	switch {
+	case ts.IsZero():
+		return &TimestampError{Time: ts, Reason: "zero value"}
+	case ts.Year() < 2000:
+		return &TimestampError{Time: ts, Reason: "before 2000"}
+	case ts.After(parseNow().Add(maxFuture)):
+		return &TimestampError{Time: ts, Reason: "more than 24h in the future"}
+	}
+	return nil
+}
+
 // Event is a parsed log record.
 type Event struct {
 	Time    time.Time
@@ -27,7 +65,9 @@ type Event struct {
 }
 
 // ParseLine splits one raw line into timestamp, node id and message and
-// masks the message into its static phrase key.
+// masks the message into its static phrase key. Lines whose timestamp
+// parses but is absurd — the zero value, pre-2000, or more than 24h
+// ahead of the local clock — are rejected with a *TimestampError.
 func ParseLine(line string) (Event, error) {
 	line = strings.TrimRight(line, "\r\n")
 	tsStr, rest, ok := strings.Cut(line, " ")
@@ -41,6 +81,9 @@ func ParseLine(line string) (Event, error) {
 	ts, err := time.Parse(TimeLayout, tsStr)
 	if err != nil {
 		return Event{}, fmt.Errorf("logparse: bad timestamp in %q: %w", line, err)
+	}
+	if err := validTimestamp(ts); err != nil {
+		return Event{}, fmt.Errorf("in %q: %w", line, err)
 	}
 	if !strings.HasPrefix(node, "c") {
 		return Event{}, fmt.Errorf("logparse: bad node id %q", node)

@@ -1,6 +1,7 @@
 package logparse
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -37,6 +38,38 @@ func TestParseLineErrors(t *testing.T) {
 		if _, err := ParseLine(bad); err == nil {
 			t.Errorf("ParseLine(%q) should fail", bad)
 		}
+	}
+}
+
+func TestParseLineRejectsAbsurdTimestamps(t *testing.T) {
+	defer func(orig func() time.Time) { parseNow = orig }(parseNow)
+	now := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	parseNow = func() time.Time { return now }
+
+	for _, tc := range []struct {
+		line, reason string
+	}{
+		{"0001-01-01T00:00:00.000000 c0-0c0s0n0 zero timestamp", "zero value"},
+		{"1999-12-31T23:59:59.999999 c0-0c0s0n0 pre-epoch clock", "before 2000"},
+		{"1970-01-01T00:00:00.000000 c0-0c0s0n0 unix epoch", "before 2000"},
+		{"2026-08-07T12:00:00.000001 c0-0c0s0n0 future clock", "more than 24h in the future"},
+	} {
+		_, err := ParseLine(tc.line)
+		var tsErr *TimestampError
+		if !errors.As(err, &tsErr) {
+			t.Errorf("ParseLine(%q) err = %v, want *TimestampError", tc.line, err)
+			continue
+		}
+		if tsErr.Reason != tc.reason {
+			t.Errorf("ParseLine(%q) reason %q, want %q", tc.line, tsErr.Reason, tc.reason)
+		}
+	}
+
+	// Exactly 24h ahead is the last tolerated instant; just inside stays
+	// parseable so fast producer clocks are a skew-guard problem, not a
+	// parse failure.
+	if _, err := ParseLine("2026-08-06T12:00:00.000000 c0-0c0s0n0 fast clock within bound"); err != nil {
+		t.Fatalf("timestamp exactly 24h ahead must parse: %v", err)
 	}
 }
 

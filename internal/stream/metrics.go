@@ -127,11 +127,38 @@ type Metrics struct {
 	// AlertsDropped counts fired alerts discarded because the subscriber
 	// channel was full.
 	AlertsDropped atomic.Int64
-	// Processed counts events a shard ran to completion. The conservation
-	// invariant Processed + Dropped + Quarantined == Ingested -
-	// SafeFiltered holds whenever the streamer is quiescent (queues
-	// empty).
+	// Processed counts events a shard ran to completion (including
+	// duplicates, late events and buffered-then-released events). The
+	// conservation invariant Processed + Dropped + Quarantined +
+	// SkewQuarantined + Shed == Ingested - SafeFiltered holds whenever
+	// the streamer is quiescent (queues empty).
 	Processed atomic.Int64
+	// Late counts events that arrived after their node's release cursor
+	// had already passed their timestamp (event-time layer only).
+	Late atomic.Int64
+	// LateDropped counts late events discarded under LateDrop (a subset
+	// of Late; LateFeed feeds them instead).
+	LateDropped atomic.Int64
+	// LateClamped counts events the chain tracker clamped forward to
+	// keep the per-node time axis non-decreasing (fed late events plus
+	// any residual disorder when the event-time layer is off).
+	LateClamped atomic.Int64
+	// Duplicates counts events suppressed by the per-node dedup ring.
+	Duplicates atomic.Int64
+	// SkewQuarantined counts events dropped at ingest because their
+	// timestamp led the local clock beyond SkewTolerance.
+	SkewQuarantined atomic.Int64
+	// Shed counts events dropped at ingest by the overload-degradation
+	// controller (levels >= 2).
+	Shed atomic.Int64
+	// ShedLevel is a gauge: the controller's current degradation level
+	// (0 = normal .. 3 = max shedding).
+	ShedLevel atomic.Int64
+	// ShedLevelMax is the highest degradation level reached.
+	ShedLevelMax atomic.Int64
+	// ReorderOverflow counts events released ahead of the watermark
+	// because a node's reorder buffer hit ReorderDepth.
+	ReorderOverflow atomic.Int64
 	// Oversized counts ingest lines discarded for exceeding the line
 	// length cap.
 	Oversized atomic.Int64
@@ -185,6 +212,19 @@ type MetricsSnapshot struct {
 	ReplayedEvents   int64             `json:"replayed_events"`
 	ReplaySuppressed int64             `json:"replay_suppressed"`
 	ConnRejected     int64             `json:"conn_rejected"`
+	Late             int64             `json:"late"`
+	LateDropped      int64             `json:"late_dropped"`
+	LateClamped      int64             `json:"late_clamped"`
+	Duplicates       int64             `json:"duplicates"`
+	SkewQuarantined  int64             `json:"skew_quarantined"`
+	Shed             int64             `json:"shed"`
+	ShedLevel        int64             `json:"shed_level"`
+	ShedLevelMax     int64             `json:"shed_level_max"`
+	ReorderOverflow  int64             `json:"reorder_overflow"`
+	ReorderPending   int64             `json:"reorder_pending"`
 	QueueDepths      []int             `json:"queue_depths"`
-	Detect           HistogramSnapshot `json:"detect_latency"`
+	// Watermarks is each shard's event-time watermark in unix
+	// nanoseconds (0 until the shard has seen an event).
+	Watermarks []int64           `json:"watermarks"`
+	Detect     HistogramSnapshot `json:"detect_latency"`
 }

@@ -20,6 +20,15 @@ type persistedNode struct {
 	Alerted     bool
 	LastAlertAt time.Time
 	OpenAlerted bool
+	// Event-time layer state (PR 4): the reorder buffer in release
+	// order, the watermark cursors, and the dedup ring. Zero-valued in
+	// snapshots written before the layer existed — gob decodes missing
+	// fields as zero, so old state dirs restore cleanly.
+	Reorder    []logparse.EncodedEvent
+	ETMaxSeen  time.Time
+	ETReleased time.Time
+	Dedup      []dedupEntry
+	DedupPos   int
 }
 
 // streamerSnapshot is the snapshot payload. EncKeys is the full phrase
@@ -234,11 +243,31 @@ func (s *Streamer) restoreSnapshot(snap streamerSnapshot) error {
 			openAlerted: pn.OpenAlerted,
 			evicted:     pn.Tracker.Dropped,
 		}
+		ns.lateClamped = pn.Tracker.Late
 		if tr.OpenLen() > 0 {
 			ns.wasOpen = true
 			s.met.ChainsOpen.Add(1)
 		}
-		s.shards[s.shardOf(node)].nodes[node] = ns
+		sh := s.shards[s.shardOf(node)]
+		if s.et != nil {
+			ns.et = restoredNodeET(pn)
+			sh.pending.Add(int64(ns.et.heap.len()))
+			if ts := ns.et.maxSeen.UnixNano(); ns.et.heap.len() > 0 || !ns.et.maxSeen.IsZero() {
+				if ts > sh.wmNano.Load() {
+					sh.wmNano.Store(ts)
+				}
+			}
+		} else if len(pn.Reorder) > 0 {
+			// The snapshot was taken with reordering on and the streamer
+			// restarted with it off: feed the buffered tail straight to
+			// the tracker (restore is single-threaded, so this is safe).
+			// Alerts it raises may duplicate pre-crash ones; the quiet
+			// period bounds that.
+			for _, ev := range pn.Reorder {
+				sh.feed(ns, ev)
+			}
+		}
+		sh.nodes[node] = ns
 	}
 	return nil
 }

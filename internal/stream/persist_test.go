@@ -56,9 +56,9 @@ func waitUntil(t *testing.T, d time.Duration, what string, cond func() bool) {
 func checkConservation(t *testing.T, s *Streamer) {
 	t.Helper()
 	m := s.SnapshotMetrics()
-	if m.Processed+m.Dropped+m.Quarantined != m.Ingested-m.SafeFiltered {
-		t.Fatalf("conservation violated: processed %d + dropped %d + quarantined %d != ingested %d - safe %d",
-			m.Processed, m.Dropped, m.Quarantined, m.Ingested, m.SafeFiltered)
+	if m.Processed+m.Dropped+m.Quarantined+m.SkewQuarantined+m.Shed != m.Ingested-m.SafeFiltered {
+		t.Fatalf("conservation violated: processed %d + dropped %d + quarantined %d + skew %d + shed %d != ingested %d - safe %d",
+			m.Processed, m.Dropped, m.Quarantined, m.SkewQuarantined, m.Shed, m.Ingested, m.SafeFiltered)
 	}
 }
 
@@ -84,6 +84,11 @@ func TestCrashRestartEquivalence(t *testing.T) {
 			WithAlertBuffer(8192),
 			WithSnapshotEvery(time.Hour), // periodic loop stays out of the way
 			WithRestartBackoff(time.Millisecond),
+			// Event-time layer on: buffered events must ride snapshots and
+			// the WAL replay must re-derive watermarks deterministically.
+			WithAllowedLateness(10 * time.Second),
+			WithDedupWindow(64),
+			WithSkewTolerance(2 * time.Second),
 		}, extra...)
 	}
 

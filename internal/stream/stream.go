@@ -134,6 +134,43 @@ type Options struct {
 	ConnIdleTimeout time.Duration
 	// MaxBodyBytes bounds one HTTP ingest request body (default 8 MiB).
 	MaxBodyBytes int64
+	// AllowedLateness is the event-time disorder window: events are held
+	// in a per-node reorder buffer until the node's watermark (max seen
+	// timestamp minus this window) passes them, so arrival order within
+	// the window never reaches the chain tracker (default 0 = arrival
+	// order, no buffering).
+	AllowedLateness time.Duration
+	// ReorderDepth bounds each node's reorder buffer; when full, the
+	// earliest buffered event is released ahead of the watermark and
+	// counted in ReorderOverflow (default 512).
+	ReorderDepth int
+	// LatePolicy selects what happens to events that arrive after the
+	// watermark already passed them (default LateFeed).
+	LatePolicy LatePolicy
+	// DedupWindow suppresses re-deliveries: each node remembers its last
+	// N accepted (timestamp, phrase) keys and drops exact repeats —
+	// retried syslog batches fire each alert once (default 0 = off).
+	DedupWindow int
+	// SkewTolerance quarantines events whose timestamp is further than
+	// this ahead of the local clock — a producer clock that absurdly
+	// leads ours would otherwise poison the node's watermark and mark
+	// every honest event late (default 0 = off; backward jumps are
+	// handled by the lateness path, not this guard).
+	SkewTolerance time.Duration
+	// ShedPolicy enables graceful overload degradation (default ShedOff;
+	// see shed.go for the levels).
+	ShedPolicy ShedPolicy
+	// Diag, when set, receives one-line operational diagnostics
+	// (Printf-style): skew quarantines, shed level transitions. Never
+	// called on the per-event hot path more than ~1/s.
+	Diag func(format string, args ...any)
+
+	// shedTun tunes the shedding controller (test seam; defaults in
+	// defaultOptions).
+	shedTun shedTuning
+	// processDelay stalls every shard event by this much — the overload
+	// test's way of forcing queue pressure deterministically.
+	processDelay time.Duration
 
 	ctx context.Context
 	// fsys overrides the persistence filesystem — the fault-injection
@@ -205,6 +242,43 @@ func WithConnIdleTimeout(d time.Duration) Option { return func(o *Options) { o.C
 // WithMaxBodyBytes bounds one HTTP ingest body (default 8 MiB).
 func WithMaxBodyBytes(n int64) Option { return func(o *Options) { o.MaxBodyBytes = n } }
 
+// WithAllowedLateness sets the event-time disorder window (0 disables
+// reorder buffering).
+func WithAllowedLateness(d time.Duration) Option { return func(o *Options) { o.AllowedLateness = d } }
+
+// WithReorderDepth bounds each node's reorder buffer (default 512).
+func WithReorderDepth(n int) Option { return func(o *Options) { o.ReorderDepth = n } }
+
+// WithLatePolicy selects the fate of events behind the watermark
+// (default LateFeed).
+func WithLatePolicy(p LatePolicy) Option { return func(o *Options) { o.LatePolicy = p } }
+
+// WithDedupWindow sets the per-node duplicate-suppression ring size
+// (default 0 = off).
+func WithDedupWindow(n int) Option { return func(o *Options) { o.DedupWindow = n } }
+
+// WithSkewTolerance quarantines events that lead the local clock by
+// more than d (default 0 = off).
+func WithSkewTolerance(d time.Duration) Option { return func(o *Options) { o.SkewTolerance = d } }
+
+// WithShedPolicy enables graceful overload degradation (default
+// ShedOff).
+func WithShedPolicy(p ShedPolicy) Option { return func(o *Options) { o.ShedPolicy = p } }
+
+// WithDiag installs a Printf-style sink for one-line operational
+// diagnostics (nil = silent).
+func WithDiag(fn func(format string, args ...any)) Option {
+	return func(o *Options) { o.Diag = fn }
+}
+
+// withShedTuning overrides the shedding controller's tick/threshold
+// parameters (test-only).
+func withShedTuning(t shedTuning) Option { return func(o *Options) { o.shedTun = t } }
+
+// withProcessDelay stalls every processed event (test-only: forces
+// queue pressure).
+func withProcessDelay(d time.Duration) Option { return func(o *Options) { o.processDelay = d } }
+
 // withFS overrides the persistence filesystem (crash-test seam).
 func withFS(fsys faultfs.FS) Option { return func(o *Options) { o.fsys = fsys } }
 
@@ -228,6 +302,14 @@ func defaultOptions() Options {
 		MaxConns:        256,
 		ConnIdleTimeout: 5 * time.Minute,
 		MaxBodyBytes:    8 << 20,
+		ReorderDepth:    512,
+		shedTun: shedTuning{
+			period:        time.Second,
+			hold:          5,
+			high:          0.75,
+			low:           0.25,
+			latencyBudget: 50 * time.Millisecond,
+		},
 	}
 }
 
@@ -244,6 +326,15 @@ type Streamer struct {
 	shards []*shard
 	alerts chan Alert
 	met    Metrics
+
+	// et is the event-time layer config (nil when reorder buffering and
+	// dedup are both disabled).
+	et *eventTime
+	// shed is the overload-degradation controller (nil under ShedOff).
+	shed *shedController
+	// lastSkewDiag rate-limits skew-quarantine diagnostics (unix nanos
+	// of the last line).
+	lastSkewDiag atomic.Int64
 
 	// pst is the crash-recovery state (nil without WithStateDir).
 	pst *persister
@@ -288,6 +379,18 @@ func New(p *core.Pipeline, options ...Option) (*Streamer, error) {
 		opts.MaxConns < 1 || opts.ConnIdleTimeout < 0 || opts.MaxBodyBytes < 1 {
 		return nil, fmt.Errorf("stream: non-positive robustness option")
 	}
+	if opts.AllowedLateness < 0 || opts.SkewTolerance < 0 || opts.DedupWindow < 0 {
+		return nil, fmt.Errorf("stream: negative event-time option")
+	}
+	if opts.ReorderDepth < 1 {
+		return nil, fmt.Errorf("stream: ReorderDepth must be >= 1, got %d", opts.ReorderDepth)
+	}
+	if opts.LatePolicy != LateFeed && opts.LatePolicy != LateDrop {
+		return nil, fmt.Errorf("stream: unknown LatePolicy %d", opts.LatePolicy)
+	}
+	if opts.ShedPolicy != ShedOff && opts.ShedPolicy != ShedDegrade {
+		return nil, fmt.Errorf("stream: unknown ShedPolicy %d", opts.ShedPolicy)
+	}
 	chainCfg := p.Config().ChainCfg
 	if opts.MaxOpenWindow > 0 && opts.MaxOpenWindow < chainCfg.MinLen {
 		return nil, fmt.Errorf("stream: MaxOpenWindow %d below chain MinLen %d", opts.MaxOpenWindow, chainCfg.MinLen)
@@ -299,6 +402,18 @@ func New(p *core.Pipeline, options ...Option) (*Streamer, error) {
 		enc:    p.Encoder(),
 		alerts: make(chan Alert, opts.AlertBuffer),
 		done:   make(chan struct{}),
+	}
+	if opts.AllowedLateness > 0 || opts.DedupWindow > 0 {
+		s.et = &eventTime{
+			lateness: opts.AllowedLateness,
+			depth:    opts.ReorderDepth,
+			dedupN:   opts.DedupWindow,
+			policy:   opts.LatePolicy,
+		}
+		s.et.effLateNs.Store(int64(opts.AllowedLateness))
+	}
+	if opts.ShedPolicy == ShedDegrade {
+		s.shed = &shedController{s: s, tun: opts.shedTun}
 	}
 	s.shards = make([]*shard, opts.Shards)
 	for i := range s.shards {
@@ -334,6 +449,10 @@ func New(p *core.Pipeline, options ...Option) (*Streamer, error) {
 	if s.pst != nil {
 		s.bgWG.Add(1)
 		go s.snapshotLoop()
+	}
+	if s.shed != nil {
+		s.bgWG.Add(1)
+		go s.shed.run()
 	}
 	if opts.ctx != nil {
 		ctx := opts.ctx
@@ -381,11 +500,31 @@ func (s *Streamer) SnapshotMetrics() MetricsSnapshot {
 		ReplayedEvents:   s.met.ReplayedEvents.Load(),
 		ReplaySuppressed: s.met.ReplaySuppressed.Load(),
 		ConnRejected:     s.met.ConnRejected.Load(),
+		Late:             s.met.Late.Load(),
+		LateDropped:      s.met.LateDropped.Load(),
+		LateClamped:      s.met.LateClamped.Load(),
+		Duplicates:       s.met.Duplicates.Load(),
+		SkewQuarantined:  s.met.SkewQuarantined.Load(),
+		Shed:             s.met.Shed.Load(),
+		ShedLevel:        s.met.ShedLevel.Load(),
+		ShedLevelMax:     s.met.ShedLevelMax.Load(),
+		ReorderOverflow:  s.met.ReorderOverflow.Load(),
 		Detect:           s.met.Detect.Snapshot(),
 	}
 	snap.QueueDepths = make([]int, len(s.shards))
+	snap.Watermarks = make([]int64, len(s.shards))
+	var eff int64
+	if s.et != nil {
+		eff = s.et.effLateNs.Load()
+	}
 	for i, sh := range s.shards {
 		snap.QueueDepths[i] = len(sh.ch)
+		snap.ReorderPending += sh.pending.Load()
+		// The shard's watermark: max seen event time minus the effective
+		// allowed lateness (0 until the shard has seen an event).
+		if wm := sh.wmNano.Load(); wm > 0 {
+			snap.Watermarks[i] = wm - eff
+		}
 	}
 	return snap
 }
@@ -421,6 +560,22 @@ func (s *Streamer) IngestEvent(ev logparse.Event) error {
 	// chatter never consume queue slots or shard time.
 	if s.lab.Label(ev.Key) == catalog.Safe {
 		s.met.SafeFiltered.Add(1)
+		return nil
+	}
+	// Skew guard: a timestamp leading the local clock beyond tolerance
+	// would poison the node's watermark (every honest event after it
+	// turns late), so it is quarantined here — before the WAL append, so
+	// replay never resurrects it and recovery stays deterministic.
+	if tol := s.opts.SkewTolerance; tol > 0 && ev.Time.After(time.Now().Add(tol)) {
+		s.met.SkewQuarantined.Add(1)
+		s.skewDiag(ev, tol)
+		return nil
+	}
+	// Degradation levels >= 2 shed at ingest, also before the WAL append:
+	// shed events are never durable, so crash replay sees exactly the
+	// admitted stream.
+	if s.shed != nil && !s.shed.admit(ev) {
+		s.met.Shed.Add(1)
 		return nil
 	}
 	// Write-ahead: the event is durable before it is queued, so a crash
@@ -473,6 +628,25 @@ func (s *Streamer) Close() error {
 		}
 	}
 	return nil
+}
+
+// diagf forwards one operational diagnostic line to the Diag sink.
+func (s *Streamer) diagf(format string, args ...any) {
+	if s.opts.Diag != nil {
+		s.opts.Diag(format, args...)
+	}
+}
+
+// skewDiag emits at most one quarantine diagnostic per second — a storm
+// of skewed events from one broken producer must not flood the sink.
+func (s *Streamer) skewDiag(ev logparse.Event, tol time.Duration) {
+	now := time.Now().UnixNano()
+	last := s.lastSkewDiag.Load()
+	if now-last < int64(time.Second) || !s.lastSkewDiag.CompareAndSwap(last, now) {
+		return
+	}
+	s.diagf("stream: quarantined event from %s: timestamp %s leads local clock beyond tolerance %s",
+		ev.Node, ev.Time.Format(logparse.TimeLayout), tol)
 }
 
 // encodeKey assigns or looks up the phrase id for key. The encoder is
@@ -551,6 +725,12 @@ type shard struct {
 	flushC chan time.Time // nil unless IdleFlush is enabled
 	det    *core.Detector
 	nodes  map[string]*nodeState
+
+	// pending gauges this shard's total reorder-buffered events and
+	// wmNano its max seen event timestamp — atomics because
+	// SnapshotMetrics reads them from outside the shard goroutine.
+	pending atomic.Int64
+	wmNano  atomic.Int64
 
 	// Supervisor state, touched only by the shard goroutine and its
 	// restart bookkeeping.
@@ -631,6 +811,9 @@ func (sh *shard) process(ev logparse.EncodedEvent) {
 	if hook := sh.s.opts.panicHook; hook != nil {
 		hook(sh.id, ev)
 	}
+	if d := sh.s.opts.processDelay; d > 0 {
+		time.Sleep(d)
+	}
 	sh.handle(ev)
 	sh.hasInflight = false
 	sh.restarts = 0
@@ -698,6 +881,9 @@ type nodeState struct {
 	openAlerted bool
 	wasOpen     bool
 	evicted     int64 // tracker.Dropped at last sync
+	lateClamped int64 // tracker.LateClamped at last sync
+	// et is the node's event-time state (nil when the layer is off).
+	et *nodeEventTime
 }
 
 // state returns (building on demand) the node's streaming state.
@@ -715,9 +901,63 @@ func (sh *shard) state(node string) *nodeState {
 	return ns
 }
 
+// handle routes one dequeued event: straight to the tracker, or — with
+// the event-time layer on — through dedup, the late check and the
+// reorder buffer first.
 func (sh *shard) handle(ev logparse.EncodedEvent) {
-	start := time.Now()
 	ns := sh.state(ev.Node)
+	if sh.s.et != nil {
+		sh.handleEventTime(ns, ev)
+		return
+	}
+	sh.feed(ns, ev)
+}
+
+// handleEventTime is the disorder-tolerant path. Order matters: dedup
+// first (a re-delivered event must not re-enter the buffer), then the
+// late check against the release cursor, then buffering + watermark
+// release. No wall clock is consulted, so WAL replay of the same event
+// sequence reconstructs identical buffer and cursor state.
+func (sh *shard) handleEventTime(ns *nodeState, ev logparse.EncodedEvent) {
+	et := sh.s.et
+	if ns.et == nil {
+		ns.et = &nodeEventTime{}
+	}
+	if ns.et.dup(ev, et.dedupN) {
+		sh.s.met.Duplicates.Add(1)
+		return
+	}
+	if ev.Time.Before(ns.et.released) {
+		sh.s.met.Late.Add(1)
+		if et.policy == LateDrop {
+			sh.s.met.LateDropped.Add(1)
+			return
+		}
+		sh.feed(ns, ev) // the tracker clamps the stale timestamp forward
+		return
+	}
+	out, overflow := ns.et.add(ev, et.effective(), et.depth)
+	if overflow > 0 {
+		sh.s.met.ReorderOverflow.Add(int64(overflow))
+	}
+	sh.pending.Add(1 - int64(len(out)))
+	if ts := ns.et.maxSeen.UnixNano(); ts > sh.wmNano.Load() {
+		sh.wmNano.Store(ts)
+	}
+	for _, rel := range out {
+		sh.feed(ns, rel)
+	}
+	if len(out) == 0 {
+		// The event only parked in the buffer; still proof of life for
+		// the idle-flush clock.
+		ns.lastArrival = time.Now()
+	}
+}
+
+// feed runs one release-ordered event through the chain tracker and the
+// detection path — the pre-event-time handle body.
+func (sh *shard) feed(ns *nodeState, ev logparse.EncodedEvent) {
+	start := time.Now()
 	closed, err := ns.tracker.Feed(ev)
 	if err != nil {
 		// Unreachable: events are routed to trackers by node.
@@ -731,6 +971,10 @@ func (sh *shard) handle(ev logparse.EncodedEvent) {
 	if d := ns.tracker.Dropped(); d != ns.evicted {
 		sh.s.met.WindowEvicted.Add(d - ns.evicted)
 		ns.evicted = d
+	}
+	if l := ns.tracker.LateClamped(); l != ns.lateClamped {
+		sh.s.met.LateClamped.Add(l - ns.lateClamped)
+		ns.lateClamped = l
 	}
 	sh.syncOpenGauge(ns)
 	if sh.s.opts.EarlyDetect && !ns.openAlerted {
@@ -807,12 +1051,20 @@ func (sh *shard) emit(ns *nodeState, a Alert) {
 func (sh *shard) capture() map[string]persistedNode {
 	out := make(map[string]persistedNode, len(sh.nodes))
 	for node, ns := range sh.nodes {
-		out[node] = persistedNode{
+		pn := persistedNode{
 			Tracker:     ns.tracker.Snapshot(),
 			Alerted:     ns.alerted,
 			LastAlertAt: ns.lastAlertAt,
 			OpenAlerted: ns.openAlerted,
 		}
+		if ns.et != nil {
+			pn.Reorder = ns.et.sortedPending()
+			pn.ETMaxSeen = ns.et.maxSeen
+			pn.ETReleased = ns.et.released
+			pn.Dedup = append([]dedupEntry(nil), ns.et.dedup...)
+			pn.DedupPos = ns.et.dedupPos
+		}
+		out[node] = pn
 	}
 	return out
 }
@@ -834,7 +1086,17 @@ func (sh *shard) syncOpenGauge(ns *nodeState) {
 // without a terminal message still gets its final episode scored.
 func (sh *shard) idleFlush(now time.Time) {
 	for _, ns := range sh.nodes {
-		if ns.tracker.OpenLen() == 0 || now.Sub(ns.lastArrival) < sh.s.opts.IdleFlush {
+		if now.Sub(ns.lastArrival) < sh.s.opts.IdleFlush {
+			continue
+		}
+		// A silent node's reorder buffer will never see a watermark
+		// advance again; drain it into the tracker before flushing, so
+		// the final episode includes its buffered tail. This is the one
+		// wall-clock-driven release path, and it only exists when
+		// IdleFlush is enabled — with it off, release is purely
+		// event-driven and WAL replay is exact.
+		sh.flushReorder(ns)
+		if ns.tracker.OpenLen() == 0 {
 			continue
 		}
 		ns.openAlerted = false
@@ -845,11 +1107,25 @@ func (sh *shard) idleFlush(now time.Time) {
 	}
 }
 
+// flushReorder drains ns's reorder buffer (if any) into the tracker in
+// release order.
+func (sh *shard) flushReorder(ns *nodeState) {
+	if ns.et == nil || ns.et.heap.len() == 0 {
+		return
+	}
+	out := ns.et.flushAll()
+	sh.pending.Add(-int64(len(out)))
+	for _, ev := range out {
+		sh.feed(ns, ev)
+	}
+}
+
 // drain is the graceful-shutdown tail: the queue is already empty, so
 // flush every open episode and score it, exactly like the batch path's
 // end-of-input flush.
 func (sh *shard) drain() {
 	for _, ns := range sh.nodes {
+		sh.flushReorder(ns)
 		ns.openAlerted = false
 		if c, ok := ns.tracker.Flush(); ok {
 			sh.judge(ns, c)

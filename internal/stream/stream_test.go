@@ -116,6 +116,12 @@ func TestNewRejectsUntrainedAndBadOptions(t *testing.T) {
 		WithMaxOpenWindow(-1),
 		WithMaxOpenWindow(1), // below chain MinLen
 		WithIdleFlush(-time.Second),
+		WithAllowedLateness(-time.Second),
+		WithSkewTolerance(-time.Second),
+		WithDedupWindow(-1),
+		WithReorderDepth(0),
+		WithLatePolicy(LatePolicy(42)),
+		WithShedPolicy(ShedPolicy(42)),
 	}
 	for i, o := range bad {
 		if _, err := New(p, o); err == nil {

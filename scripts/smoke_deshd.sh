@@ -20,7 +20,10 @@ echo "smoke: generating + training (small scale)"
 "$WORK/deshtrain" -in "$WORK/train.log" -model "$WORK/desh.model" -epochs1 0 -epochs2 150 -seed 32
 
 echo "smoke: starting deshd (no -once: stays up after EOF for the metrics probe)"
+# The event-time flags run too: a sorted replay must behave identically
+# with reordering, dedup, the skew guard and the shed controller armed.
 "$WORK/deshd" -model "$WORK/desh.model" -in "$WORK/test.log" -http "127.0.0.1:$PORT" \
+    -allowed-lateness 10s -dedup-window 64 -skew-tolerance 5m -shed-policy degrade \
     > "$WORK/alerts.out" 2> "$WORK/deshd.err" &
 PID=$!
 
@@ -54,6 +57,12 @@ fi
 if ! grep -Eq 'in [0-9]+\.[0-9] minutes' "$WORK/alerts.out"; then
     echo "smoke: FAIL — alerts carry no positive lead time" >&2
     head -5 "$WORK/alerts.out" >&2
+    exit 1
+fi
+
+if ! grep -q 'disorder: late' "$WORK/deshd.err"; then
+    echo "smoke: FAIL — exit summary missing the disorder line" >&2
+    cat "$WORK/deshd.err" >&2
     exit 1
 fi
 
