@@ -12,11 +12,12 @@ vet:
 	$(GO) vet ./...
 
 # The race detector runs over the packages that fan work out to the
-# worker pool (Phase-3 inference, the Figure-8 sweep via experiments'
-# core usage, mini-batch skip-gram training), the sharded streaming
-# engine behind deshd, and its crash-recovery substrate.
+# worker pool (mini-batch BPTT shards, Phase-3 inference, the Figure-8
+# sweep via experiments' core usage, mini-batch skip-gram training),
+# the pool itself, the sharded streaming engine behind deshd, and its
+# crash-recovery substrate.
 race:
-	GOMAXPROCS=4 $(GO) test -race ./internal/core/... ./internal/embed/... ./internal/stream/... ./internal/chain/... ./internal/persist/...
+	GOMAXPROCS=4 $(GO) test -race ./internal/core/... ./internal/embed/... ./internal/nn/... ./internal/par/... ./internal/stream/... ./internal/chain/... ./internal/persist/...
 
 # verify is the tier-1 gate: build + full tests, plus vet and the race
 # detector over the concurrent packages.

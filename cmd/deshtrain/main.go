@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	deshtrain -in train.log -model desh.model [-epochs1 2 -epochs2 150]
+//	deshtrain -in train.log -model desh.model [-epochs1 2 -epochs2 150 -batch 8]
 package main
 
 import (
@@ -19,6 +19,8 @@ func main() {
 	model := flag.String("model", "desh.model", "output model file")
 	epochs1 := flag.Int("epochs1", 2, "Phase-1 training epochs (0 skips Phase 1)")
 	epochs2 := flag.Int("epochs2", 150, "Phase-2 training epochs")
+	batch := flag.Int("batch", 8, "Phase-1 mini-batch size (1 = serial)")
+	batch2 := flag.Int("batch2", 1, "Phase-2 mini-batch size (default serial: batching trades lead-time precision for throughput)")
 	seed := flag.Int64("seed", 1, "training seed")
 	flag.Parse()
 	if *in == "" {
@@ -28,6 +30,8 @@ func main() {
 	cfg := desh.DefaultConfig()
 	cfg.Epochs1 = *epochs1
 	cfg.Epochs2 = *epochs2
+	cfg.Batch = *batch
+	cfg.Batch2 = *batch2
 	cfg.Seed = *seed
 	p, err := desh.NewPredictor(cfg)
 	if err != nil {

@@ -53,6 +53,25 @@ type Config struct {
 	// (longer lead times, more false positives) — the Figure-8 knob.
 	MinMatches int
 
+	// Batch is the Phase-1 mini-batch size: that many training windows
+	// are packed into one batched forward/backward pass and one SGD step,
+	// with the summed gradients averaged and the learning rate rescaled
+	// by the realized batch so total weight movement matches the serial
+	// schedule (clipped-SGD tolerates this rescaling well). Values <= 1
+	// select the serial one-window-at-a-time path (identical to the
+	// pre-batching behavior); 0 is treated as 1.
+	Batch int
+
+	// Batch2 is the Phase-2 mini-batch size. It defaults to 1 (serial):
+	// the lead-time regressor's RMSprop fine-tuning is
+	// precision-sensitive — Phase-3 lead times degrade measurably when
+	// its many small adaptive steps are folded into fewer averaged ones,
+	// at any LR rescaling — so batching here is an explicit
+	// throughput-for-precision trade for large corpora. When > 1, the
+	// bulk stages (warmup and the first decay stage) batch and the final
+	// low-LR precision stages still step per sequence.
+	Batch2 int
+
 	// Chain formation.
 	ChainCfg chain.Config
 
@@ -84,6 +103,9 @@ func DefaultConfig() Config {
 		MSEThreshold: 0.5,
 		MinMatches:   2,
 
+		Batch:  8,
+		Batch2: 1,
+
 		ChainCfg:        chain.DefaultConfig(),
 		TrainEmbeddings: true,
 		Seed:            1,
@@ -106,6 +128,9 @@ func (c Config) Validate() error {
 	}
 	if c.Epochs2 <= 0 || c.LR2 <= 0 {
 		return fmt.Errorf("core: invalid Phase-2 training epochs=%d lr=%v", c.Epochs2, c.LR2)
+	}
+	if c.Batch < 0 || c.Batch2 < 0 {
+		return fmt.Errorf("core: batch sizes must be non-negative, got Batch=%d Batch2=%d", c.Batch, c.Batch2)
 	}
 	if c.TrimFrac < 0 || c.TrimFrac >= 1 {
 		return fmt.Errorf("core: TrimFrac must be in [0,1), got %v", c.TrimFrac)

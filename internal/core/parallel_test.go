@@ -7,6 +7,7 @@ import (
 
 	"desh/internal/chain"
 	"desh/internal/logsim"
+	"desh/internal/par"
 )
 
 // trainSmall builds a trained pipeline plus its test-split candidate
@@ -43,14 +44,19 @@ func trainSmall(t *testing.T, seed int64) (*Pipeline, []chain.Chain) {
 func TestPredictParallelMatchesSerial(t *testing.T) {
 	for _, seed := range []int64{31, 32, 33} {
 		p, all := trainSmall(t, seed)
-		serial := p.detectAll(all, false)
-		if parallel := p.detectAll(all, true); !reflect.DeepEqual(serial, parallel) {
+		serial := p.detectAll(all, nil)
+		pool := par.NewPool(0)
+		parallel := p.detectAll(all, pool)
+		pool.Close()
+		if !reflect.DeepEqual(serial, parallel) {
 			t.Errorf("seed %d: parallel verdicts differ from serial", seed)
 		}
 		// Re-run under an inflated worker count; on a single-CPU host
 		// this is the only way to exercise multi-worker scheduling.
 		prev := runtime.GOMAXPROCS(4)
-		again := p.detectAll(all, true)
+		wide := par.NewPool(0)
+		again := p.detectAll(all, wide)
+		wide.Close()
 		runtime.GOMAXPROCS(prev)
 		if !reflect.DeepEqual(serial, again) {
 			t.Errorf("seed %d: verdicts differ at GOMAXPROCS=4", seed)

@@ -52,7 +52,9 @@ func (p *Pipeline) Predict(events []logparse.Event) ([]Verdict, error) {
 	if err != nil {
 		return nil, err
 	}
-	return p.detectAll(all, true), nil
+	pool := par.NewPool(0)
+	defer pool.Close()
+	return p.detectAll(all, pool), nil
 }
 
 // candidateChains extracts and deterministically orders every candidate
@@ -82,20 +84,27 @@ func (p *Pipeline) candidateChains(events []logparse.Event) ([]chain.Chain, erro
 	return all, nil
 }
 
-// detectAll scores every chain, fanning out over par workers when
-// parallel is set. Each worker owns one Detector (stream + scratch); the
-// verdict for chain i always lands in slot i.
-func (p *Pipeline) detectAll(all []chain.Chain, parallel bool) []Verdict {
+// detectAll scores every chain, fanning out over the given worker pool
+// (nil runs serially on one Detector). Each worker owns one Detector
+// (stream + scratch); the verdict for chain i always lands in slot i.
+func (p *Pipeline) detectAll(all []chain.Chain, pool *par.Pool) []Verdict {
 	verdicts := make([]Verdict, len(all))
-	if !parallel {
+	if pool == nil {
 		d := p.NewDetector()
 		for i, c := range all {
 			verdicts[i] = d.Detect(c)
 		}
 		return verdicts
 	}
-	detectors := make([]*Detector, par.Workers(len(all)))
-	par.ForWorker(len(all), func(w, i int) {
+	workers := pool.Workers()
+	if workers > len(all) {
+		workers = len(all)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	detectors := make([]*Detector, workers)
+	pool.ForWorker(len(all), func(w, i int) {
 		if detectors[w] == nil {
 			detectors[w] = p.NewDetector()
 		}

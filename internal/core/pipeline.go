@@ -12,6 +12,7 @@ import (
 	"desh/internal/logparse"
 	"desh/internal/nn"
 	"desh/internal/opt"
+	"desh/internal/par"
 )
 
 // Pipeline is a trained (or trainable) Desh instance.
@@ -106,9 +107,16 @@ func (p *Pipeline) Train(events []logparse.Event) (*TrainReport, error) {
 	p.trainVocab = p.enc.Len()
 	report.Vocab = p.trainVocab
 
+	// One worker pool serves every training phase — skip-gram batches,
+	// Phase-1 and Phase-2 shard fan-out — instead of each call-site
+	// spawning its own goroutines.
+	pool := par.NewPool(0)
+	defer pool.Close()
+
 	// Skip-gram embeddings over the phrase sequences (§3.1).
 	embCfg := embed.DefaultConfig(p.cfg.EmbedDim)
 	embCfg.Seed = p.cfg.Seed
+	embCfg.Pool = pool
 	p.emb = embed.Train(seqs, p.trainVocab, embCfg)
 
 	// Phase 1: stacked-LSTM next-phrase training.
@@ -116,7 +124,7 @@ func (p *Pipeline) Train(events []logparse.Event) (*TrainReport, error) {
 		p.phase1 = nn.NewSeqClassifier(p.trainVocab, p.cfg.EmbedDim, p.cfg.Hidden1, p.cfg.Layers1, rng)
 		p.phase1.SetEmbeddings(p.emb.In)
 		p.phase1.TrainEmbed = p.cfg.TrainEmbeddings
-		loss, acc := p.trainPhase1(seqs, rng)
+		loss, acc := p.trainPhase1(seqs, rng, pool)
 		report.Phase1Loss = loss
 		report.Phase1Accuracy = acc
 	}
@@ -156,7 +164,7 @@ func (p *Pipeline) Train(events []logparse.Event) (*TrainReport, error) {
 		p.phase2.Out.B.Value.Data[0] = meanDT / n
 		p.phase2.Out.B.Value.Data[1] = meanID / n
 	}
-	report.Phase2Loss = p.trainPhase2(failures, rng)
+	report.Phase2Loss = p.trainPhase2(failures, rng, pool)
 	return report, nil
 }
 
@@ -164,8 +172,9 @@ func (p *Pipeline) Train(events []logparse.Event) (*TrainReport, error) {
 // History1 phrases predicting the next Steps1 phrases, SGD with
 // categorical cross-entropy. Returns final-epoch loss and the
 // teacher-forced next-phrase accuracy.
-func (p *Pipeline) trainPhase1(seqs [][]int, rng *rand.Rand) (finalLoss, accuracy float64) {
+func (p *Pipeline) trainPhase1(seqs [][]int, rng *rand.Rand, pool *par.Pool) (finalLoss, accuracy float64) {
 	sgd := opt.NewSGD(p.cfg.LR1)
+	params := p.phase1.Params()
 	window := p.cfg.History1 + p.cfg.Steps1
 	type win struct{ seq, off int }
 	var wins []win
@@ -177,12 +186,45 @@ func (p *Pipeline) trainPhase1(seqs [][]int, rng *rand.Rand) (finalLoss, accurac
 	if len(wins) == 0 {
 		return 0, 0
 	}
+	batch := p.cfg.Batch
+	var trainer *nn.ClassifierTrainer
+	var winBuf [][]int
+	if batch > 1 {
+		trainer = nn.NewClassifierTrainer(p.phase1, batch, pool)
+		winBuf = make([][]int, 0, batch)
+	}
 	for epoch := 0; epoch < p.cfg.Epochs1; epoch++ {
 		rng.Shuffle(len(wins), func(i, j int) { wins[i], wins[j] = wins[j], wins[i] })
 		total := 0.0
-		for _, w := range wins {
-			total += p.phase1.WindowLoss(seqs[w.seq][w.off:w.off+window], p.cfg.History1, p.cfg.Steps1)
-			sgd.Step(p.phase1.Params())
+		if batch > 1 {
+			// The mini-batch step consumes the mean gradient, so the
+			// learning rate scales linearly with the realized batch size
+			// (Goyal et al. 2017): LR·B times the mean reproduces the
+			// serial sum of per-window displacements, and the clip bound
+			// on the mean keeps the same worst-case step as B serial
+			// clipped updates.
+			flush := func() {
+				if len(winBuf) == 0 {
+					return
+				}
+				total += trainer.WindowLoss(winBuf, p.cfg.History1, p.cfg.Steps1)
+				sgd.BatchSize = len(winBuf)
+				sgd.LR = p.cfg.LR1 * float64(len(winBuf))
+				sgd.Step(params)
+				winBuf = winBuf[:0]
+			}
+			for _, w := range wins {
+				winBuf = append(winBuf, seqs[w.seq][w.off:w.off+window])
+				if len(winBuf) == batch {
+					flush()
+				}
+			}
+			flush()
+		} else {
+			for _, w := range wins {
+				total += p.phase1.WindowLoss(seqs[w.seq][w.off:w.off+window], p.cfg.History1, p.cfg.Steps1)
+				sgd.Step(params)
+			}
 		}
 		finalLoss = total / float64(len(wins))
 	}
@@ -214,8 +256,9 @@ func (p *Pipeline) trainPhase1(seqs [][]int, rng *rand.Rand) (finalLoss, accurac
 // exactly. Inputs are the normalized vectors, targets the scaled ones
 // (see the Vectorize variants below). Returns the mean target-space MSE
 // of the last epoch.
-func (p *Pipeline) trainPhase2(chains []chain.Chain, rng *rand.Rand) float64 {
+func (p *Pipeline) trainPhase2(chains []chain.Chain, rng *rand.Rand, pool *par.Pool) float64 {
 	rms := opt.NewRMSprop(p.cfg.LR2)
+	params := p.phase2.Params()
 	type sample struct {
 		inputs, targets [][]float64
 		sig             string
@@ -267,28 +310,110 @@ func (p *Pipeline) trainPhase2(chains []chain.Chain, rng *rand.Rand) float64 {
 		return out
 	}
 	var inBuf, tgBuf [][]float64
-	runEpochs := func(epochs int) float64 {
+	// baseLR is the stage learning rate. The batched path keeps it
+	// unscaled over the mean gradient: RMSprop's adaptive normalization
+	// makes per-step movement ~LR regardless of gradient magnitude, so
+	// linear (or even sqrt) batch rescaling overshoots and measurably
+	// degrades the lead-time precision Phase 3 depends on.
+	baseLR := p.cfg.LR2
+	batch := p.cfg.Batch2
+	var trainer *nn.RegressorTrainer
+	// Batched sequences are bucketed by length: SequenceLoss batches must
+	// be uniform-T, and chains vary. Buckets persist across epochs
+	// (grow-only storage) and partial buckets flush at epoch end in
+	// ascending-length order, so the schedule is deterministic.
+	type bucket struct {
+		n        int
+		ins, tgs [][][]float64
+	}
+	var buckets map[int]*bucket
+	var lens []int
+	if batch > 1 {
+		trainer = nn.NewRegressorTrainer(p.phase2, batch, pool)
+		buckets = make(map[int]*bucket)
+	}
+	// augmentInto is scaleDT writing into persistent bucket storage. The
+	// augmentation draws happen at sample pickup in shuffled order —
+	// exactly where the serial path draws them — so the rng trajectory is
+	// identical whatever the batch size.
+	augmentInto := func(dst [][]float64, vecs [][]float64, f, noise float64) {
+		for i, v := range vecs {
+			dst[i][0] = v[0] * f
+			if noise > 0 {
+				dst[i][0] += rng.NormFloat64() * noise
+			}
+			dst[i][1] = v[1]
+		}
+	}
+	newSeq := func(T int) [][]float64 {
+		s := make([][]float64, T)
+		for i := range s {
+			s[i] = make([]float64, 2)
+		}
+		return s
+	}
+	runEpochs := func(epochs int, useBatch bool) float64 {
 		final := 0.0
 		for epoch := 0; epoch < epochs; epoch++ {
 			rng.Shuffle(len(samples), func(i, j int) { samples[i], samples[j] = samples[j], samples[i] })
 			total := 0.0
-			for _, s := range samples {
-				// Random rescaling of the ΔT axis: a chain is the same
-				// chain whether it plays out over 90 or 150 seconds, so
-				// the model must key on phrase structure rather than
-				// absolute ΔT values. Inputs additionally get additive
-				// noise; targets stay noise-free.
-				f := 0.5 + rng.Float64()
-				in := scaleDT(s.inputs, f, 0, 0.1, &inBuf)
-				tg := scaleDT(s.targets, f, 0, 0, &tgBuf)
-				total += p.phase2.SequenceLoss(in, tg)
-				rms.Step(p.phase2.Params())
+			if useBatch && batch > 1 {
+				flush := func(b *bucket) {
+					if b.n == 0 {
+						return
+					}
+					total += trainer.SequenceLoss(b.ins[:b.n], b.tgs[:b.n])
+					rms.BatchSize = b.n
+					rms.LR = baseLR
+					rms.Step(params)
+					b.n = 0
+				}
+				for _, s := range samples {
+					f := 0.5 + rng.Float64()
+					T := len(s.inputs)
+					b := buckets[T]
+					if b == nil {
+						b = &bucket{}
+						buckets[T] = b
+						lens = append(lens, T)
+						sort.Ints(lens)
+					}
+					if b.n == len(b.ins) {
+						b.ins = append(b.ins, newSeq(T))
+						b.tgs = append(b.tgs, newSeq(T))
+					}
+					augmentInto(b.ins[b.n], s.inputs, f, 0.1)
+					augmentInto(b.tgs[b.n], s.targets, f, 0)
+					b.n++
+					if b.n == batch {
+						flush(b)
+					}
+				}
+				for _, T := range lens {
+					flush(buckets[T])
+				}
+			} else {
+				// A batched stage may have left a mean-gradient divisor on
+				// the optimizer; serial steps are single-sequence.
+				rms.BatchSize = 1
+				for _, s := range samples {
+					// Random rescaling of the ΔT axis: a chain is the same
+					// chain whether it plays out over 90 or 150 seconds, so
+					// the model must key on phrase structure rather than
+					// absolute ΔT values. Inputs additionally get additive
+					// noise; targets stay noise-free.
+					f := 0.5 + rng.Float64()
+					in := scaleDT(s.inputs, f, 0, 0.1, &inBuf)
+					tg := scaleDT(s.targets, f, 0, 0, &tgBuf)
+					total += p.phase2.SequenceLoss(in, tg)
+					rms.Step(params)
+				}
 			}
 			final = total / float64(len(samples))
 		}
 		return final
 	}
-	runEpochs(warmup)
+	runEpochs(warmup, true)
 	if p.cfg.TrimFrac > 0 && len(samples) >= 5 {
 		// Only one-off phrase sequences are trim candidates: a chain
 		// whose exact sequence recurs is a real template even if the
@@ -336,11 +461,13 @@ func (p *Pipeline) trainPhase2(chains []chain.Chain, rng *rand.Rand) float64 {
 	stage1 := remaining / 2
 	stage2 := (remaining - stage1) / 2
 	stage3 := remaining - stage1 - stage2
-	runEpochs(stage1)
-	rms.LR = p.cfg.LR2 / 4
-	runEpochs(stage2)
-	rms.LR = p.cfg.LR2 / 16
-	return runEpochs(stage3)
+	runEpochs(stage1, true)
+	baseLR = p.cfg.LR2 / 4
+	rms.LR = baseLR
+	runEpochs(stage2, false)
+	baseLR = p.cfg.LR2 / 16
+	rms.LR = baseLR
+	return runEpochs(stage3, false)
 }
 
 // idTargetScale maps raw phrase ids into a modest regression range

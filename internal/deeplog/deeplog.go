@@ -14,6 +14,7 @@ import (
 	"desh/internal/logparse"
 	"desh/internal/nn"
 	"desh/internal/opt"
+	"desh/internal/par"
 )
 
 // Config parameterizes the DeepLog baseline.
@@ -24,13 +25,16 @@ type Config struct {
 	TopG    int // observed key must rank in the top g predictions
 	Epochs  int
 	LR      float64
-	Seed    int64
+	// Batch is the mini-batch size for training (mean gradient, linear
+	// LR scaling); <= 1 trains one window at a time.
+	Batch int
+	Seed  int64
 }
 
 // DefaultConfig mirrors the published DeepLog settings scaled to the
 // synthetic logs.
 func DefaultConfig() Config {
-	return Config{Hidden: 32, Layers: 2, History: 10, TopG: 9, Epochs: 2, LR: 0.2, Seed: 1}
+	return Config{Hidden: 32, Layers: 2, History: 10, TopG: 9, Epochs: 2, LR: 0.2, Batch: 8, Seed: 1}
 }
 
 // Validate reports configuration errors.
@@ -43,6 +47,9 @@ func (c Config) Validate() error {
 	}
 	if c.Epochs < 1 || c.LR <= 0 {
 		return fmt.Errorf("deeplog: invalid epochs=%d lr=%v", c.Epochs, c.LR)
+	}
+	if c.Batch < 0 {
+		return fmt.Errorf("deeplog: Batch must be non-negative, got %d", c.Batch)
 	}
 	return nil
 }
@@ -98,11 +105,41 @@ func Train(events []logparse.Event, cfg Config) (*Detector, error) {
 	if len(wins) == 0 {
 		return nil, fmt.Errorf("deeplog: training sequences shorter than history %d", cfg.History)
 	}
+	params := d.model.Params()
+	if cfg.Batch > 1 {
+		// Batched path: same mini-batch discipline as the Desh Phase-1
+		// loop — mean gradient with linear LR scaling per realized batch.
+		pool := par.NewPool(0)
+		defer pool.Close()
+		trainer := nn.NewClassifierTrainer(d.model, cfg.Batch, pool)
+		winBuf := make([][]int, 0, cfg.Batch)
+		flush := func() {
+			if len(winBuf) == 0 {
+				return
+			}
+			trainer.WindowLoss(winBuf, cfg.History, 1)
+			sgd.BatchSize = len(winBuf)
+			sgd.LR = cfg.LR * float64(len(winBuf))
+			sgd.Step(params)
+			winBuf = winBuf[:0]
+		}
+		for epoch := 0; epoch < cfg.Epochs; epoch++ {
+			rng.Shuffle(len(wins), func(i, j int) { wins[i], wins[j] = wins[j], wins[i] })
+			for _, w := range wins {
+				winBuf = append(winBuf, seqs[w.seq][w.off:w.off+window])
+				if len(winBuf) == cfg.Batch {
+					flush()
+				}
+			}
+			flush()
+		}
+		return d, nil
+	}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rng.Shuffle(len(wins), func(i, j int) { wins[i], wins[j] = wins[j], wins[i] })
 		for _, w := range wins {
 			d.model.WindowLoss(seqs[w.seq][w.off:w.off+window], cfg.History, 1)
-			sgd.Step(d.model.Params())
+			sgd.Step(params)
 		}
 	}
 	return d, nil

@@ -24,6 +24,12 @@ type Config struct {
 	LR          float64 // initial learning rate, linearly decayed
 	Epochs      int     // passes over the corpus
 	Seed        int64   // RNG seed for init, sampling and shuffling
+
+	// Pool, when set, runs the per-batch position fan-out on a shared
+	// worker pool instead of spawning goroutines per batch. The learned
+	// vectors are identical either way (fixed batch partitioning and
+	// merge order); nil keeps the self-contained behavior.
+	Pool *par.Pool
 }
 
 // DefaultConfig mirrors the paper's settings with sane training knobs.
@@ -145,7 +151,7 @@ func Train(seqs [][]int, vocab int, cfg Config) *Model {
 			if blen > batchSize {
 				blen = batchSize
 			}
-			par.ForWorker(blen, func(_, i int) {
+			cfg.Pool.ForWorker(blen, func(_, i int) {
 				g := start + i
 				pos := positions[g]
 				// The decay schedule matches the serial SGD formula: lr is

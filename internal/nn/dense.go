@@ -13,6 +13,10 @@ import (
 type Dense struct {
 	InSize, OutSize int
 	W, B            *Param
+
+	// wT caches Wᵀ for the batched training head; refreshed once per
+	// optimizer batch and shared with shard replicas.
+	wT *tensor.Matrix
 }
 
 // NewDense builds a Xavier-initialized dense layer.

@@ -20,6 +20,11 @@ import (
 type LSTMLayer struct {
 	InSize, HiddenSize int
 	Wx, Wh, B          *Param
+
+	// Transposed-weight caches (wxT = Wxᵀ, whT = Whᵀ) for the batched
+	// GEMM training path; refreshed once per optimizer batch. Shard
+	// replicas share these pointers with the primary layer.
+	wxT, whT *tensor.Matrix
 }
 
 // NewLSTMLayer builds a layer with Xavier-initialized weights and the

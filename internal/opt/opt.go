@@ -27,8 +27,14 @@ type SGD struct {
 	// ClipNorm bounds the global gradient norm before the update;
 	// 0 disables clipping.
 	ClipNorm float64
+	// BatchSize > 1 divides the accumulated gradients by the batch size
+	// before clipping, turning a summed mini-batch gradient into the
+	// mean — so clipping thresholds and learning rates keep per-example
+	// semantics regardless of batch size.
+	BatchSize int
 
 	velocity map[*nn.Param]*tensor.Matrix
+	gs       []*tensor.Matrix // reused grad-matrix list: no per-step alloc
 }
 
 // NewSGD returns an SGD optimizer with the given learning rate.
@@ -41,8 +47,9 @@ func NewSGD(lr float64) *SGD {
 
 // Step applies w -= lr*g (with momentum if configured) and zeroes grads.
 func (s *SGD) Step(params []*nn.Param) {
+	s.gs = scaleGrads(s.gs[:0], params, s.BatchSize)
 	if s.ClipNorm > 0 {
-		tensor.ClipNorm(nn.GradMatrices(params), s.ClipNorm)
+		tensor.ClipNorm(s.gs, s.ClipNorm)
 	}
 	for _, p := range params {
 		if s.Momentum > 0 {
@@ -64,6 +71,22 @@ func (s *SGD) Step(params []*nn.Param) {
 	}
 }
 
+// scaleGrads collects the gradient matrices into gs (reusing its
+// backing array) and, when batch > 1, scales them by 1/batch so the
+// optimizer consumes the batch-mean gradient.
+func scaleGrads(gs []*tensor.Matrix, params []*nn.Param, batch int) []*tensor.Matrix {
+	for _, p := range params {
+		gs = append(gs, p.Grad)
+	}
+	if batch > 1 {
+		inv := 1 / float64(batch)
+		for _, g := range gs {
+			g.Scale(inv)
+		}
+	}
+	return gs
+}
+
 // RMSprop keeps a per-weight exponential moving average of squared
 // gradients and divides updates by its square root (Hinton 2012).
 type RMSprop struct {
@@ -71,8 +94,12 @@ type RMSprop struct {
 	Rho      float64
 	Eps      float64
 	ClipNorm float64
+	// BatchSize > 1 divides the accumulated gradients by the batch size
+	// before clipping (mean-gradient semantics, as for SGD.BatchSize).
+	BatchSize int
 
 	cache map[*nn.Param]*tensor.Matrix
+	gs    []*tensor.Matrix
 }
 
 // NewRMSprop returns an RMSprop optimizer with the conventional
@@ -86,8 +113,9 @@ func NewRMSprop(lr float64) *RMSprop {
 
 // Step applies the RMSprop update and zeroes grads.
 func (r *RMSprop) Step(params []*nn.Param) {
+	r.gs = scaleGrads(r.gs[:0], params, r.BatchSize)
 	if r.ClipNorm > 0 {
-		tensor.ClipNorm(nn.GradMatrices(params), r.ClipNorm)
+		tensor.ClipNorm(r.gs, r.ClipNorm)
 	}
 	if r.cache == nil {
 		r.cache = make(map[*nn.Param]*tensor.Matrix)

@@ -1,0 +1,110 @@
+package tensor
+
+import "fmt"
+
+// Batched LSTM gate kernels: the mini-batch counterparts of GateMatVec
+// and GateBackward in gate.go. A batch packs B sequences as the rows of
+// row-major matrices, so the per-gate MatVecs of a timestep become
+// batch GEMMs in a·bᵀ orientation: every output element is a contiguous
+// row-against-row dot4, and each weight row loaded from memory feeds
+// the whole batch instead of one sequence. Per batch row the kernels
+// perform the same additions in the same order as the serial gate
+// kernels, so every row is bit-identical to GateMatVec/GateBackward run
+// on that row alone — training trajectories do not drift between the
+// B=1 batched path and the per-sequence path.
+
+// GateMatMul computes z = x·wxᵀ + h·whᵀ + bias for a batch of rows
+// against the untransposed weights: x is [B x In], wx is [4H x In], h
+// is [B x H], wh is [4H x H], and z is [B x 4H]. Per row and gate the
+// association is (wx_j·x) + ((wh_j·h) + bias_j), each dot a k-ascending
+// single accumulator — bit-identical to GateMatVec. Gate-outer order
+// streams the weight matrices once per batched timestep, and blocking
+// four batch rows keeps four accumulator chains per dot phase in
+// flight to hide the FP-add latency of the serial summation order.
+func GateMatMul(z, x, wx, h, wh *Matrix, bias []float64) {
+	if z.Rows != x.Rows || x.Rows != h.Rows {
+		panic(fmt.Sprintf("tensor: GateMatMul batch rows %d/%d/%d", z.Rows, x.Rows, h.Rows))
+	}
+	if len(bias) != wx.Rows || z.Cols != wx.Rows || wx.Rows != wh.Rows {
+		panic(fmt.Sprintf("tensor: GateMatMul gate widths %d/%d/%d/%d", len(bias), z.Cols, wx.Rows, wh.Rows))
+	}
+	if x.Cols != wx.Cols || h.Cols != wh.Cols {
+		panic(fmt.Sprintf("tensor: GateMatMul inputs %d/%d, want %d/%d", x.Cols, h.Cols, wx.Cols, wh.Cols))
+	}
+	B, nx, nh, nz := z.Rows, wx.Cols, wh.Cols, z.Cols
+	for j := 0; j < nz; j++ {
+		wxj := wx.Data[j*nx : (j+1)*nx]
+		whj := wh.Data[j*nh : (j+1)*nh]
+		bj := bias[j]
+		r := 0
+		for ; r+4 <= B; r += 4 {
+			x0 := x.Data[r*nx : (r+1)*nx]
+			x1 := x.Data[(r+1)*nx : (r+2)*nx]
+			x2 := x.Data[(r+2)*nx : (r+3)*nx]
+			x3 := x.Data[(r+3)*nx : (r+4)*nx]
+			var s0, s1, s2, s3 float64
+			for k, w := range wxj {
+				s0 += x0[k] * w
+				s1 += x1[k] * w
+				s2 += x2[k] * w
+				s3 += x3[k] * w
+			}
+			h0 := h.Data[r*nh : (r+1)*nh]
+			h1 := h.Data[(r+1)*nh : (r+2)*nh]
+			h2 := h.Data[(r+2)*nh : (r+3)*nh]
+			h3 := h.Data[(r+3)*nh : (r+4)*nh]
+			var t0, t1, t2, t3 float64
+			for k, w := range whj {
+				t0 += h0[k] * w
+				t1 += h1[k] * w
+				t2 += h2[k] * w
+				t3 += h3[k] * w
+			}
+			z.Data[r*nz+j] = s0 + (t0 + bj)
+			z.Data[(r+1)*nz+j] = s1 + (t1 + bj)
+			z.Data[(r+2)*nz+j] = s2 + (t2 + bj)
+			z.Data[(r+3)*nz+j] = s3 + (t3 + bj)
+		}
+		for ; r < B; r++ {
+			z.Data[r*nz+j] = dot4(wxj, x.Data[r*nx:(r+1)*nx]) + (dot4(whj, h.Data[r*nh:(r+1)*nh]) + bj)
+		}
+	}
+}
+
+// GateBackwardBatch applies the backward pass of z = Wx·x + Wh·h + b for
+// one timestep of a batch: given dz [B x 4H] it accumulates, per batch
+// row r in ascending order, gWx += dz_r⊗x_r, gWh += dz_r⊗hPrev_r and
+// gB += dz_r, and writes dx_r = Wxᵀ·dz_r and dhPrev_r = Whᵀ·dz_r (both
+// overwritten). wxT [In x 4H] and whT [H x 4H] are the cached weight
+// transposes, so the input-gradient products run as contiguous a·bᵀ
+// dots. The four per-row accumulations factor into four batch GEMMs,
+// each preserving the serial kernel's per-element summation order: dx
+// and dhPrev accumulate gate contributions in ascending gate order, and
+// the weight gradients accumulate batch rows in ascending order — so a
+// one-row batch is bit-identical to GateBackward plus the bias Axpy
+// (modulo the sign of exact zeros, which the serial zero-skips elide),
+// and wider batches differ from the row-at-a-time formulation only in
+// the sign of exact zeros. dx and dhPrev must not alias x, hPrev or dz.
+func GateBackwardBatch(dz, x, hPrev, wxT, gWx, whT, gWh *Matrix, gB []float64, dx, dhPrev *Matrix) {
+	if dz.Rows != x.Rows || dz.Rows != hPrev.Rows || dz.Rows != dx.Rows || dz.Rows != dhPrev.Rows {
+		panic(fmt.Sprintf("tensor: GateBackwardBatch rows %d/%d/%d/%d/%d", dz.Rows, x.Rows, hPrev.Rows, dx.Rows, dhPrev.Rows))
+	}
+	if dz.Cols != wxT.Cols || len(gB) != dz.Cols {
+		panic(fmt.Sprintf("tensor: GateBackwardBatch dz width %d, want %d cols (gB %d)", dz.Cols, wxT.Cols, len(gB)))
+	}
+	if x.Cols != wxT.Rows || dx.Cols != wxT.Rows || gWx.Rows != wxT.Cols || gWx.Cols != wxT.Rows {
+		panic(fmt.Sprintf("tensor: GateBackwardBatch x/dx widths %d/%d, want %d", x.Cols, dx.Cols, wxT.Rows))
+	}
+	if hPrev.Cols != whT.Rows || dhPrev.Cols != whT.Rows || gWh.Rows != whT.Cols || gWh.Cols != whT.Rows {
+		panic(fmt.Sprintf("tensor: GateBackwardBatch h/dh widths %d/%d, want %d", hPrev.Cols, dhPrev.Cols, whT.Rows))
+	}
+	nz := dz.Cols
+	B := dz.Rows
+	MatMulABtInto(dx, dz, wxT)
+	MatMulABtInto(dhPrev, dz, whT)
+	MatTMulAddInto(gWx, dz, x)
+	MatTMulAddInto(gWh, dz, hPrev)
+	for r := 0; r < B; r++ {
+		Axpy(1, dz.Data[r*nz:(r+1)*nz], gB)
+	}
+}
