@@ -73,6 +73,7 @@ func run() error {
 	dedup := flag.Int("dedup-window", 0, "per-node duplicate-suppression ring size (0 disables)")
 	skew := flag.Duration("skew-tolerance", 0, "quarantine events this far ahead of the local clock (0 disables)")
 	shed := flag.String("shed-policy", "off", `overload degradation: "off" or "degrade" (walk shed levels under pressure)`)
+	microBatch := flag.Int("micro-batch", 32, "events one shard wakeup coalesces and scores as a batch (1 disables)")
 	flag.Parse()
 
 	mf, err := os.Open(*model)
@@ -91,6 +92,7 @@ func run() error {
 		desh.WithEarlyDetect(*early),
 		desh.WithIdleFlush(*idle),
 		desh.WithMaxOpenWindow(*window),
+		desh.WithMicroBatch(*microBatch),
 	}
 	if *shards > 0 {
 		opts = append(opts, desh.WithShards(*shards))
@@ -243,10 +245,11 @@ func run() error {
 	}
 	snap := s.SnapshotMetrics()
 	fmt.Fprintf(os.Stderr,
-		"deshd: ingested %d (safe %d, malformed %d, oversized %d, dropped %d, quarantined %d), chains closed %d, alerts fired %d (suppressed %d, undelivered %d), shard restarts %d, detect p50 %.0fµs p99 %.0fµs\n",
+		"deshd: ingested %d (safe %d, malformed %d, oversized %d, dropped %d, quarantined %d), chains closed %d, alerts fired %d (suppressed %d, undelivered %d), shard restarts %d, batch occupancy %.2f (batched detects %d), detect p50 %.0fµs p99 %.0fµs\n",
 		snap.Ingested, snap.SafeFiltered, snap.Malformed, snap.Oversized, snap.Dropped, snap.Quarantined,
 		snap.ChainsClosed, snap.AlertsFired, snap.AlertsSuppressed, snap.AlertsDropped,
-		snap.ShardRestarts, snap.Detect.P50Micros, snap.Detect.P99Micros)
+		snap.ShardRestarts, snap.BatchOccupancy, snap.BatchedDetects,
+		snap.Detect.P50Micros, snap.Detect.P99Micros)
 	fmt.Fprintf(os.Stderr,
 		"deshd: disorder: late %d (dropped %d, clamped %d), duplicates %d, skew-quarantined %d, reorder overflow %d, window evicted %d, shed %d (max level %d)\n",
 		snap.Late, snap.LateDropped, snap.LateClamped, snap.Duplicates, snap.SkewQuarantined,

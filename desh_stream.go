@@ -179,6 +179,15 @@ func WithDedupWindow(n int) StreamOption { return stream.WithDedupWindow(n) }
 // default) disables the guard.
 func WithSkewTolerance(d time.Duration) StreamOption { return stream.WithSkewTolerance(d) }
 
+// WithMicroBatch caps how many queued events one shard wakeup drains
+// and scores together: chains closed during the drain go through the
+// batched gate GEMM kernels as one DetectBatch pass. There is no
+// batching timer — the batch is whatever backlog exists at wakeup, so
+// an idle shard keeps per-event latency. Per chain, batched verdicts
+// are bit-identical to serial ones. 1 disables coalescing (default 32,
+// max 256).
+func WithMicroBatch(n int) StreamOption { return stream.WithMicroBatch(n) }
+
 // WithShedPolicy selects the overload behavior: StreamShedOff (default)
 // or StreamShedDegrade, which walks through explicit degradation levels
 // (shrink lateness, shed Unknown-labeled events, per-node fair random

@@ -138,6 +138,15 @@ type Detector struct {
 	p       *Pipeline
 	stream  *nn.Stream
 	predRaw [2]float64
+
+	// Batched scoring scratch, lazily grown by DetectBatch and reused
+	// across calls so steady-state batch scoring allocates only what
+	// Vectorize itself allocates.
+	batch   *nn.StreamBatch
+	bRaw    [][][]float64
+	bIn     [][][]float64
+	bPerm   []int
+	bConsec []int
 }
 
 // NewDetector builds a scoring context for the trained Phase-2 model.

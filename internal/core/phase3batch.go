@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"desh/internal/chain"
+	"desh/internal/loss"
+)
+
+// DetectBatch scores a slice of candidate sequences through the batched
+// gate kernels (nn.StreamBatch → tensor.GateMatMul /
+// tensor.MatMulABtBiasInto), writing verdicts[i] for chains[i]. It is
+// the serving-path fan-in: a stream shard hands over every chain that
+// closed during one micro-batch drain and gets the same verdicts
+// Detect would produce, one batched GEMM per timestep instead of one
+// MatVec per chain per timestep.
+//
+// Parity contract: verdicts[i] is bit-identical to Detect(chains[i]) —
+// same flags, same FlagIndex, same float bits in every field. The
+// batched kernels are per-row bit-identical to the serial ones, and the
+// threshold/consecutive-match automaton below replays DetectWith's
+// exact control flow per row. Chains of unequal length score together
+// by sorting rows longest-first and shrinking the batch as short chains
+// finish; the sort only changes which matrix row a chain occupies,
+// never the arithmetic applied to it.
+//
+// Like Detect, DetectBatch must not run concurrently on one Detector.
+func (d *Detector) DetectBatch(chains []chain.Chain, verdicts []Verdict) {
+	if len(verdicts) != len(chains) {
+		panic(fmt.Sprintf("core: DetectBatch %d chains, %d verdict slots", len(chains), len(verdicts)))
+	}
+	B := len(chains)
+	switch B {
+	case 0:
+		return
+	case 1:
+		verdicts[0] = d.Detect(chains[0])
+		return
+	}
+	p := d.p
+	threshold, minMatches := p.cfg.MSEThreshold, p.cfg.MinMatches
+	idScale := p.idTargetScale()
+
+	if cap(d.bRaw) < B {
+		d.bRaw = make([][][]float64, B)
+		d.bIn = make([][][]float64, B)
+		d.bPerm = make([]int, B)
+		d.bConsec = make([]int, B)
+	}
+	raws := d.bRaw[:B]
+	ins := d.bIn[:B]
+	perm := d.bPerm[:B]
+	consec := d.bConsec[:B]
+	for i, c := range chains {
+		verdicts[i] = Verdict{
+			Node:       c.Node,
+			AnchorTime: c.FailTime,
+			FlagIndex:  -1,
+			MinMSE:     math.Inf(1),
+			Chain:      c,
+		}
+		raws[i] = p.Vectorize(c)
+		ins[i] = p.VectorizeInput(c)
+		perm[i] = i
+		consec[i] = 0
+	}
+	// Longest chain first so live rows stay a contiguous batch prefix;
+	// ties break on input index to keep the row assignment stable.
+	sort.Slice(perm, func(a, b int) bool {
+		la, lb := len(raws[perm[a]]), len(raws[perm[b]])
+		if la != lb {
+			return la > lb
+		}
+		return perm[a] < perm[b]
+	})
+	// Chains shorter than two vectors carry no transitions: their base
+	// verdict (no flag, MinMSE = +Inf) is already final, matching
+	// DetectWith's early return.
+	live := B
+	for live > 0 && len(raws[perm[live-1]]) < 2 {
+		live--
+	}
+	if live == 0 {
+		return
+	}
+	if d.batch == nil {
+		d.batch = p.phase2.NewStreamBatch()
+	}
+	sb := d.batch
+	sb.Begin(live)
+	var predRaw [2]float64
+	for t := 0; ; t++ {
+		// Row i predicts transition t while t+1 < len(raws[i]); retire
+		// finished rows from the tail before stepping.
+		for live > 0 && t+1 >= len(raws[perm[live-1]]) {
+			live--
+		}
+		if live == 0 {
+			return
+		}
+		sb.Shrink(live)
+		for r := 0; r < live; r++ {
+			copy(sb.Input(r), ins[perm[r]][t])
+		}
+		pred := sb.Step()
+		for r := 0; r < live; r++ {
+			i := perm[r]
+			pr := pred.Row(r)
+			// Same raw-space rescale and match automaton as DetectWith.
+			predRaw[0] = pr[0]
+			predRaw[1] = pr[1] / idScale
+			mse := loss.MSE(predRaw[:], raws[i][t+1])
+			v := &verdicts[i]
+			if mse < v.MinMSE {
+				v.MinMSE = mse
+			}
+			if t == 0 {
+				continue
+			}
+			if mse <= threshold {
+				consec[i]++
+				if !v.Flagged && consec[i] >= minMatches {
+					v.Flagged = true
+					v.FlagIndex = t + 1
+					v.LeadSeconds = chains[i].Entries[t+1].DeltaT
+					v.PredLeadSeconds = predRaw[0] * 60
+				}
+			} else {
+				consec[i] = 0
+			}
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"desh/internal/chain"
+)
+
+// sameVerdict demands byte-identical verdicts: float fields compare by
+// bits (catching even -0 vs 0 drift the == operator would hide).
+func sameVerdict(a, b Verdict) bool {
+	return a.Node == b.Node &&
+		a.AnchorTime.Equal(b.AnchorTime) &&
+		a.Flagged == b.Flagged &&
+		a.FlagIndex == b.FlagIndex &&
+		math.Float64bits(a.LeadSeconds) == math.Float64bits(b.LeadSeconds) &&
+		math.Float64bits(a.PredLeadSeconds) == math.Float64bits(b.PredLeadSeconds) &&
+		math.Float64bits(a.MinMSE) == math.Float64bits(b.MinMSE) &&
+		reflect.DeepEqual(a.Chain, b.Chain)
+}
+
+// TestDetectBatchMatchesDetect pins the serving-path parity contract:
+// fanning chains through DetectBatch yields, slot for slot, the same
+// verdicts as scoring each chain alone — across random batch sizes,
+// orders, and the ragged chain shapes a real drain produces (including
+// degenerate one- and two-entry chains).
+func TestDetectBatchMatchesDetect(t *testing.T) {
+	p, all := trainSmall(t, 34)
+	d := p.NewDetector()
+
+	want := make([]Verdict, len(all))
+	for i, c := range all {
+		want[i] = d.Detect(c)
+	}
+
+	rng := rand.New(rand.NewSource(64))
+	for trial := 0; trial < 8; trial++ {
+		// Shuffled copy so every trial batches different chains together.
+		idx := rng.Perm(len(all))
+		for lo := 0; lo < len(idx); {
+			B := 1 + rng.Intn(7)
+			if lo+B > len(idx) {
+				B = len(idx) - lo
+			}
+			chains := make([]chain.Chain, B)
+			for k := 0; k < B; k++ {
+				chains[k] = all[idx[lo+k]]
+			}
+			verdicts := make([]Verdict, B)
+			d.DetectBatch(chains, verdicts)
+			for k := 0; k < B; k++ {
+				if !sameVerdict(verdicts[k], want[idx[lo+k]]) {
+					t.Fatalf("trial %d batch@%d size %d slot %d: batched verdict diverges for chain %s/%v",
+						trial, lo, B, k, chains[k].Node, chains[k].FailTime)
+				}
+			}
+			lo += B
+		}
+	}
+
+	// Mismatched slice lengths must refuse loudly.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic on verdict slice length mismatch")
+			}
+		}()
+		d.DetectBatch(all[:2], make([]Verdict, 1))
+	}()
+
+	// Empty batch is a no-op.
+	d.DetectBatch(nil, nil)
+}

@@ -1,0 +1,144 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"desh/internal/tensor"
+)
+
+// StreamBatch scores up to `capacity` independent sequences in lockstep
+// through the batched gate kernels — the forward-only, serving-path
+// counterpart of stackBatch. Each row of the packed matrices is one
+// sequence; a timestep runs one tensor.GateMatMul per layer plus one
+// tensor.MatMulABtBiasInto for the output head, so each weight row
+// loads once per batched step instead of once per sequence. No tape is
+// recorded: hidden and cell state update in place, exactly like
+// Stream.Step.
+//
+// Parity contract: per row, a StreamBatch timestep performs the same
+// floating-point operation sequence as Stream.Step on that row's
+// sequence alone (GateMatMul and MatMulABtBiasInto are per-row
+// bit-identical to GateMatVec and MatVecBias, and the nonlinearity loop
+// mirrors stepInfer). A batch of one therefore produces byte-identical
+// predictions to the serial stream — the property Detector.DetectBatch
+// and the stream micro-batching layer are built on.
+//
+// The arenas are grow-only: Begin reuses them whenever the requested
+// rows fit, so steady-state scoring allocates nothing. A StreamBatch is
+// single-threaded; concurrent scorers need one StreamBatch each.
+type StreamBatch struct {
+	m    *SeqRegressor
+	rows int // live rows (a prefix of the arena)
+	grew int // arena capacity in rows
+
+	x    *tensor.Matrix   // [rows x InDim] inputs for the current step
+	h, c []*tensor.Matrix // per layer [rows x H], updated in place
+	z    tensor.Matrix    // gate pre-activations, re-pointed per layer
+	zb   []float64        // backing arena for z, rows x 4*maxHidden
+	pred *tensor.Matrix   // [rows x OutDim] output-head predictions
+}
+
+// NewStreamBatch starts a batched inference scorer over the model. The
+// arenas are sized lazily by Begin.
+func (m *SeqRegressor) NewStreamBatch() *StreamBatch {
+	return &StreamBatch{m: m}
+}
+
+// grow reallocates the arenas for at least `rows` rows. Only Begin may
+// call it: growth discards recurrent state, which Begin resets anyway.
+func (b *StreamBatch) grow(rows int) {
+	st := b.m.Stack
+	b.grew = rows
+	b.x = tensor.New(rows, st.InSize())
+	b.pred = tensor.New(rows, b.m.OutDim)
+	b.zb = make([]float64, rows*4*st.maxHidden())
+	b.h = make([]*tensor.Matrix, len(st.Layers))
+	b.c = make([]*tensor.Matrix, len(st.Layers))
+	for k, l := range st.Layers {
+		b.h[k] = tensor.New(rows, l.HiddenSize)
+		b.c[k] = tensor.New(rows, l.HiddenSize)
+	}
+}
+
+// Begin rewinds the batch to score `rows` fresh sequences from the
+// all-zero recurrent state. Previously grown arenas are reused when
+// they fit.
+func (b *StreamBatch) Begin(rows int) {
+	if rows < 1 {
+		panic(fmt.Sprintf("nn: StreamBatch.Begin rows %d", rows))
+	}
+	if rows > b.grew {
+		b.grow(rows)
+	}
+	b.rows = rows
+	setRows(b.x, rows)
+	setRows(b.pred, rows)
+	for k := range b.h {
+		setRows(b.h[k], rows)
+		setRows(b.c[k], rows)
+		b.h[k].Zero()
+		b.c[k].Zero()
+	}
+}
+
+// Rows returns the number of live rows.
+func (b *StreamBatch) Rows() int { return b.rows }
+
+// Input returns row r of the input matrix for the caller to fill before
+// Step. Valid until the next Begin.
+func (b *StreamBatch) Input(r int) []float64 { return b.x.Row(r) }
+
+// Shrink retires the trailing rows, keeping the first `rows` sequences
+// live with their recurrent state intact. Sequences of unequal length
+// score together by sorting longest-first and shrinking as the short
+// ones finish.
+func (b *StreamBatch) Shrink(rows int) {
+	if rows < 0 || rows > b.rows {
+		panic(fmt.Sprintf("nn: StreamBatch.Shrink %d of %d rows", rows, b.rows))
+	}
+	if rows == b.rows {
+		return
+	}
+	b.rows = rows
+	setRows(b.x, rows)
+	setRows(b.pred, rows)
+	for k := range b.h {
+		setRows(b.h[k], rows)
+		setRows(b.c[k], rows)
+	}
+}
+
+// Step consumes the inputs staged via Input and advances every live row
+// one timestep, returning the [rows x OutDim] next-vector predictions.
+// The returned matrix is owned by the batch and valid until the next
+// Step. Row r equals Stream.Step on row r's sequence, bit for bit.
+func (b *StreamBatch) Step() *tensor.Matrix {
+	in := b.x
+	for k, l := range b.m.Stack.Layers {
+		H := l.HiddenSize
+		b.z.Rows, b.z.Cols = b.rows, 4*H
+		b.z.Data = b.zb[:b.rows*4*H]
+		// GateMatMul reads h[k] in full before the loop below overwrites
+		// it, so the in-place state update is safe.
+		tensor.GateMatMul(&b.z, in, l.Wx.Value, b.h[k], l.Wh.Value, l.B.Value.Data)
+		for r := 0; r < b.rows; r++ {
+			zr := b.z.Row(r)
+			hr := b.h[k].Row(r)
+			cr := b.c[k].Row(r)
+			// Mirrors stepInfer exactly: gate order i,f,g,o.
+			for j := 0; j < H; j++ {
+				ij := sigmoid(zr[j])
+				fj := sigmoid(zr[H+j])
+				gj := math.Tanh(zr[2*H+j])
+				oj := sigmoid(zr[3*H+j])
+				cj := fj*cr[j] + ij*gj
+				cr[j] = cj
+				hr[j] = oj * math.Tanh(cj)
+			}
+		}
+		in = b.h[k]
+	}
+	tensor.MatMulABtBiasInto(b.pred, in, b.m.Out.W.Value, b.m.Out.B.Value.Data)
+	return b.pred
+}

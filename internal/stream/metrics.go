@@ -184,8 +184,19 @@ type Metrics struct {
 	// ConnRejected counts ServeLines connections refused by the MaxConns
 	// cap or dropped by the idle timeout.
 	ConnRejected atomic.Int64
-	// Detect is the per-event shard processing latency (chain tracking +
-	// detection).
+	// BatchWakeups counts shard wakeups that drained at least one event —
+	// the denominator of batch occupancy.
+	BatchWakeups atomic.Int64
+	// BatchEvents counts events drained across all wakeups; BatchEvents /
+	// BatchWakeups is the mean micro-batch occupancy.
+	BatchEvents atomic.Int64
+	// BatchedDetects counts closed chains scored through the batched
+	// DetectBatch path (batches of two or more; singletons take the
+	// serial path).
+	BatchedDetects atomic.Int64
+	// Detect is the end-to-end per-event detect latency, measured
+	// enqueue→verdict: queue wait + chain tracking + (possibly batched)
+	// scoring. Exactly one observation per event a shard dequeues.
 	Detect Histogram
 }
 
@@ -222,7 +233,13 @@ type MetricsSnapshot struct {
 	ShedLevelMax     int64             `json:"shed_level_max"`
 	ReorderOverflow  int64             `json:"reorder_overflow"`
 	ReorderPending   int64             `json:"reorder_pending"`
-	QueueDepths      []int             `json:"queue_depths"`
+	BatchWakeups     int64             `json:"batch_wakeups"`
+	// BatchOccupancy is the mean number of events drained per shard
+	// wakeup (0 before the first wakeup; 1.0 means no coalescing).
+	BatchOccupancy float64 `json:"batch_occupancy"`
+	// BatchedDetects counts chains scored through the batched GEMM path.
+	BatchedDetects int64 `json:"batched_detects"`
+	QueueDepths    []int `json:"queue_depths"`
 	// Watermarks is each shard's event-time watermark in unix
 	// nanoseconds (0 until the shard has seen an event).
 	Watermarks []int64           `json:"watermarks"`

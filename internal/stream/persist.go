@@ -266,6 +266,9 @@ func (s *Streamer) restoreSnapshot(snap streamerSnapshot) error {
 			for _, ev := range pn.Reorder {
 				sh.feed(ns, ev)
 			}
+			// feed defers closed-chain judging; score them now, while the
+			// node's restore is still the only activity on the shard.
+			sh.flushPending()
 		}
 		sh.nodes[node] = ns
 	}
@@ -291,8 +294,13 @@ func (s *Streamer) replayEvent(rec persist.EventRecord) {
 // quarantines the event immediately (there is no supervisor to retry
 // under, and the event already had its chance pre-crash).
 func (sh *shard) processReplay(ev logparse.EncodedEvent) {
+	at := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
+			// Deferred chains from the panicked event are dropped with it;
+			// chains closed by earlier replayed events were already
+			// flushed.
+			sh.pend = sh.pend[:0]
 			sh.s.met.Quarantined.Add(1)
 			sh.s.pst.appendQuarantine(sh.s, ev)
 		}
@@ -301,7 +309,11 @@ func (sh *shard) processReplay(ev logparse.EncodedEvent) {
 		hook(sh.id, ev)
 	}
 	sh.handle(ev)
+	// Replay is single-threaded with no coalescing: each event flushes
+	// its own closures, so replayed alert order matches live order.
+	sh.flushPending()
 	sh.s.met.Processed.Add(1)
+	sh.s.met.Detect.Observe(time.Since(at))
 }
 
 // snapshotLoop drives periodic snapshots until shutdown.

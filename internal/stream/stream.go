@@ -37,6 +37,10 @@ import (
 // ErrClosed is returned by ingest entry points after Close.
 var ErrClosed = errors.New("stream: streamer is closed")
 
+// maxMicroBatch bounds Options.MicroBatch: past a few dozen rows the
+// batched GEMMs stop gaining and the drain only adds head-of-line wait.
+const maxMicroBatch = 256
+
 // Alert is one impending-failure warning emitted on the subscriber
 // channel.
 type Alert struct {
@@ -157,6 +161,17 @@ type Options struct {
 	// every honest event late (default 0 = off; backward jumps are
 	// handled by the lateness path, not this guard).
 	SkewTolerance time.Duration
+	// MicroBatch caps how many queued events one shard wakeup drains and
+	// processes together: every chain closed during the drain is scored
+	// through Detector.DetectBatch (one batched gate GEMM per timestep)
+	// instead of one serial Detect per chain. Coalescing never waits on a
+	// timer — the batch is whatever backlog exists at wakeup, so an idle
+	// shard keeps per-event latency while a backlogged one amortizes
+	// kernel work across the burst. 1 disables coalescing (the per-event
+	// path). Default 32, max 256. Batch boundaries are unobservable in
+	// the alert stream: per chain, batched verdicts are bit-identical to
+	// serial ones, and emission order is event order.
+	MicroBatch int
 	// ShedPolicy enables graceful overload degradation (default ShedOff;
 	// see shed.go for the levels).
 	ShedPolicy ShedPolicy
@@ -261,6 +276,10 @@ func WithDedupWindow(n int) Option { return func(o *Options) { o.DedupWindow = n
 // more than d (default 0 = off).
 func WithSkewTolerance(d time.Duration) Option { return func(o *Options) { o.SkewTolerance = d } }
 
+// WithMicroBatch caps the events one shard wakeup coalesces and scores
+// as a batch (1 disables coalescing; default 32, max 256).
+func WithMicroBatch(n int) Option { return func(o *Options) { o.MicroBatch = n } }
+
 // WithShedPolicy enables graceful overload degradation (default
 // ShedOff).
 func WithShedPolicy(p ShedPolicy) Option { return func(o *Options) { o.ShedPolicy = p } }
@@ -303,6 +322,7 @@ func defaultOptions() Options {
 		ConnIdleTimeout: 5 * time.Minute,
 		MaxBodyBytes:    8 << 20,
 		ReorderDepth:    512,
+		MicroBatch:      32,
 		shedTun: shedTuning{
 			period:        time.Second,
 			hold:          5,
@@ -384,6 +404,9 @@ func New(p *core.Pipeline, options ...Option) (*Streamer, error) {
 	}
 	if opts.ReorderDepth < 1 {
 		return nil, fmt.Errorf("stream: ReorderDepth must be >= 1, got %d", opts.ReorderDepth)
+	}
+	if opts.MicroBatch < 1 || opts.MicroBatch > maxMicroBatch {
+		return nil, fmt.Errorf("stream: MicroBatch must be in [1,%d], got %d", maxMicroBatch, opts.MicroBatch)
 	}
 	if opts.LatePolicy != LateFeed && opts.LatePolicy != LateDrop {
 		return nil, fmt.Errorf("stream: unknown LatePolicy %d", opts.LatePolicy)
@@ -509,7 +532,12 @@ func (s *Streamer) SnapshotMetrics() MetricsSnapshot {
 		ShedLevel:        s.met.ShedLevel.Load(),
 		ShedLevelMax:     s.met.ShedLevelMax.Load(),
 		ReorderOverflow:  s.met.ReorderOverflow.Load(),
+		BatchWakeups:     s.met.BatchWakeups.Load(),
+		BatchedDetects:   s.met.BatchedDetects.Load(),
 		Detect:           s.met.Detect.Snapshot(),
+	}
+	if snap.BatchWakeups > 0 {
+		snap.BatchOccupancy = float64(s.met.BatchEvents.Load()) / float64(snap.BatchWakeups)
 	}
 	snap.QueueDepths = make([]int, len(s.shards))
 	snap.Watermarks = make([]int64, len(s.shards))
@@ -586,13 +614,17 @@ func (s *Streamer) IngestEvent(ev logparse.Event) error {
 		s.pst.appendEvent(s, ev)
 	}
 	enc := logparse.EncodedEvent{Event: ev, ID: s.encodeKey(ev.Key)}
+	// The enqueue stamp anchors the detect-latency histogram: observed at
+	// verdict time, it measures queue wait + processing + any batched
+	// scoring the event waited on — the latency a subscriber experiences.
+	msg := shardMsg{ev: enc, at: time.Now()}
 	sh := s.shards[s.shardOf(ev.Node)]
 	if s.opts.Policy == Block {
-		sh.ch <- shardMsg{ev: enc}
+		sh.ch <- msg
 		return nil
 	}
 	select {
-	case sh.ch <- shardMsg{ev: enc}:
+	case sh.ch <- msg:
 	default:
 		s.met.Dropped.Add(1)
 	}
@@ -711,7 +743,10 @@ func isBlank(line string) bool {
 // with a WAL boundary: every event appended before the boundary is
 // ahead of the barrier in the queue, every later one behind it.
 type shardMsg struct {
-	ev   logparse.EncodedEvent
+	ev logparse.EncodedEvent
+	// at is the enqueue wall-clock stamp, observed into the Detect
+	// histogram once the event's verdicts are out.
+	at   time.Time
 	snap chan<- map[string]persistedNode
 }
 
@@ -741,6 +776,27 @@ type shard struct {
 	poisonKey   string
 	poisonCount int
 	rng         *rand.Rand
+
+	// Micro-batch state, shard-goroutine only. buf holds the messages
+	// drained by the current wakeup and bufNext the next unprocessed
+	// index, so a mid-batch panic restart resumes the tail instead of
+	// dropping drained events; pend holds the chains those events closed,
+	// awaiting one batched scoring pass; pendTries counts consecutive
+	// restarts whose panic came from scoring pend itself. chbuf and verd
+	// are the grow-only DetectBatch scratch.
+	buf       []shardMsg
+	bufNext   int
+	pend      []pendChain
+	pendTries int
+	chbuf     []chain.Chain
+	verd      []core.Verdict
+}
+
+// pendChain is one closed chain awaiting batched scoring, paired with
+// the node state its alert (if any) must run through.
+type pendChain struct {
+	ns *nodeState
+	c  chain.Chain
 }
 
 // run is the shard supervisor: it re-enters the processing loop after
@@ -774,6 +830,10 @@ func (sh *shard) runLoop() (panicked bool) {
 		sh.retry = false
 		sh.process(sh.inflight)
 	}
+	// Finish any micro-batch a panic interrupted before taking new work:
+	// its drained events and deferred chains precede everything still in
+	// the queue.
+	sh.resumeBatch()
 	if sh.flushC == nil {
 		for m := range sh.ch {
 			if sh.s.crashed.Load() {
@@ -796,12 +856,78 @@ func (sh *shard) runLoop() (panicked bool) {
 	}
 }
 
+// dispatch handles one shard wakeup. A snapshot barrier is answered
+// immediately. An event opens a micro-batch: up to MicroBatch-1 more
+// already-queued events are drained without ever waiting — the batch is
+// whatever backlog exists, so an idle shard keeps per-event latency —
+// then every drained event runs through the tracker with closed-chain
+// judging deferred, and the deferred chains score as one batched pass.
 func (sh *shard) dispatch(m shardMsg) {
 	if m.snap != nil {
 		m.snap <- sh.capture()
 		return
 	}
-	sh.process(m.ev)
+	sh.buf = append(sh.buf[:0], m)
+	sh.bufNext = 0
+	var barrier chan<- map[string]persistedNode
+drain:
+	for len(sh.buf) < sh.s.opts.MicroBatch {
+		select {
+		case m2, ok := <-sh.ch:
+			if !ok {
+				break drain
+			}
+			if sh.s.crashed.Load() {
+				// Simulated SIGKILL: abandon the batch mid-queue, exactly
+				// like the per-event loop abandons its current message.
+				// The WAL holds every abandoned event.
+				sh.buf = sh.buf[:0]
+				return
+			}
+			if m2.snap != nil {
+				// A barrier must observe every event ahead of it in the
+				// queue, so it is answered after the batch flushes.
+				barrier = m2.snap
+				break drain
+			}
+			sh.buf = append(sh.buf, m2)
+		default:
+			break drain
+		}
+	}
+	sh.processBatch()
+	if barrier != nil {
+		barrier <- sh.capture()
+	}
+}
+
+// processBatch runs the unprocessed tail of the drained micro-batch,
+// then scores the deferred chains and stamps the batch's metrics.
+func (sh *shard) processBatch() {
+	for sh.bufNext < len(sh.buf) {
+		ev := sh.buf[sh.bufNext].ev
+		sh.bufNext++
+		sh.process(ev)
+	}
+	sh.flushPending()
+	sh.observeBatch()
+}
+
+// resumeBatch finishes a micro-batch a panic interrupted. When the
+// panic came from scoring the deferred chains themselves (every drained
+// event already processed), the batch is dropped after MaxEventRetries
+// attempts and counted as quarantined — a poisoned chain must not
+// crash-loop the shard forever.
+func (sh *shard) resumeBatch() {
+	if sh.bufNext >= len(sh.buf) && len(sh.pend) > 0 {
+		sh.pendTries++
+		if sh.pendTries > sh.s.opts.MaxEventRetries {
+			sh.s.met.Quarantined.Add(int64(len(sh.pend)))
+			sh.pend = sh.pend[:0]
+		}
+	}
+	sh.processBatch()
+	sh.pendTries = 0
 }
 
 // process runs one event through the shard with crash attribution.
@@ -966,7 +1092,10 @@ func (sh *shard) feed(ns *nodeState, ev logparse.EncodedEvent) {
 	}
 	for _, c := range closed {
 		ns.openAlerted = false
-		sh.judge(ns, c)
+		// Closed chains are judged at the end of the micro-batch, all in
+		// one batched scoring pass. Safe to defer: the tracker copied the
+		// chain's entries out of its mutable window.
+		sh.pend = append(sh.pend, pendChain{ns: ns, c: c})
 	}
 	if d := ns.tracker.Dropped(); d != ns.evicted {
 		sh.s.met.WindowEvicted.Add(d - ns.evicted)
@@ -977,6 +1106,12 @@ func (sh *shard) feed(ns *nodeState, ev logparse.EncodedEvent) {
 		ns.lateClamped = l
 	}
 	sh.syncOpenGauge(ns)
+	if sh.s.opts.EarlyDetect {
+		// Provisional scoring feeds the same order-sensitive dedup machine
+		// as closed-chain alerts, so the deferred chains must judge first —
+		// early detection trades cross-event coalescing for immediacy.
+		sh.flushPending()
+	}
 	if sh.s.opts.EarlyDetect && !ns.openAlerted {
 		if c, ok := ns.tracker.OpenChain(); ok {
 			if v := sh.det.Detect(c); v.Flagged {
@@ -992,14 +1127,18 @@ func (sh *shard) feed(ns *nodeState, ev logparse.EncodedEvent) {
 		}
 	}
 	ns.lastArrival = start
-	sh.s.met.Detect.Observe(time.Since(start))
 }
 
-// judge scores a closed chain and emits an alert when it is flagged —
-// the streaming equivalent of one batch Predict verdict.
+// judge scores one closed chain serially and emits an alert when it is
+// flagged — the streaming equivalent of one batch Predict verdict, used
+// for singleton batches and the idle-flush / drain paths.
 func (sh *shard) judge(ns *nodeState, c chain.Chain) {
 	sh.s.met.ChainsClosed.Add(1)
-	v := sh.det.Detect(c)
+	sh.emitVerdict(ns, sh.det.Detect(c))
+}
+
+// emitVerdict converts a flagged closed-chain verdict into an alert.
+func (sh *shard) emitVerdict(ns *nodeState, v core.Verdict) {
 	if !v.Flagged {
 		return
 	}
@@ -1009,6 +1148,59 @@ func (sh *shard) judge(ns *nodeState, c chain.Chain) {
 		FlaggedAt:   v.AnchorTime,
 		MSE:         v.MinMSE,
 	})
+}
+
+// flushPending scores every chain the current micro-batch closed: one
+// DetectBatch pass through the batched gate GEMMs when two or more are
+// pending, the serial judge otherwise. Per chain the batched verdict is
+// bit-identical to Detect's, and emission order is append (= event)
+// order, so batch boundaries are unobservable in the alert stream.
+func (sh *shard) flushPending() {
+	n := len(sh.pend)
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		pc := sh.pend[0]
+		sh.judge(pc.ns, pc.c)
+		sh.pend = sh.pend[:0]
+		return
+	}
+	sh.s.met.ChainsClosed.Add(int64(n))
+	sh.s.met.BatchedDetects.Add(int64(n))
+	sh.chbuf = sh.chbuf[:0]
+	for _, pc := range sh.pend {
+		sh.chbuf = append(sh.chbuf, pc.c)
+	}
+	if cap(sh.verd) < n {
+		sh.verd = make([]core.Verdict, n)
+	}
+	vs := sh.verd[:n]
+	sh.det.DetectBatch(sh.chbuf, vs)
+	for i, pc := range sh.pend {
+		sh.emitVerdict(pc.ns, vs[i])
+	}
+	sh.pend = sh.pend[:0]
+	sh.chbuf = sh.chbuf[:0]
+}
+
+// observeBatch stamps the wakeup's coalescing counters and the
+// enqueue→verdict latency of every drained event — queue wait plus
+// processing plus the batched scoring the event waited on, which is the
+// latency a subscriber experiences and the signal the shed controller
+// budgets against.
+func (sh *shard) observeBatch() {
+	if len(sh.buf) == 0 {
+		return
+	}
+	sh.s.met.BatchWakeups.Add(1)
+	sh.s.met.BatchEvents.Add(int64(len(sh.buf)))
+	now := time.Now()
+	for i := range sh.buf {
+		sh.s.met.Detect.Observe(now.Sub(sh.buf[i].at))
+	}
+	sh.buf = sh.buf[:0]
+	sh.bufNext = 0
 }
 
 // emit runs the dedup state machine and delivers the alert without ever
@@ -1096,6 +1288,9 @@ func (sh *shard) idleFlush(now time.Time) {
 		// IdleFlush is enabled — with it off, release is purely
 		// event-driven and WAL replay is exact.
 		sh.flushReorder(ns)
+		// Feeding the buffered tail may have closed chains; they must
+		// judge (in order) before the final episode does.
+		sh.flushPending()
 		if ns.tracker.OpenLen() == 0 {
 			continue
 		}
@@ -1126,6 +1321,9 @@ func (sh *shard) flushReorder(ns *nodeState) {
 func (sh *shard) drain() {
 	for _, ns := range sh.nodes {
 		sh.flushReorder(ns)
+		// Chains closed by the buffered tail judge before the node's
+		// final open episode, preserving event order.
+		sh.flushPending()
 		ns.openAlerted = false
 		if c, ok := ns.tracker.Flush(); ok {
 			sh.judge(ns, c)

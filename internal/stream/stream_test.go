@@ -122,6 +122,8 @@ func TestNewRejectsUntrainedAndBadOptions(t *testing.T) {
 		WithReorderDepth(0),
 		WithLatePolicy(LatePolicy(42)),
 		WithShedPolicy(ShedPolicy(42)),
+		WithMicroBatch(0),
+		WithMicroBatch(maxMicroBatch + 1),
 	}
 	for i, o := range bad {
 		if _, err := New(p, o); err == nil {

@@ -18,9 +18,12 @@ import "fmt"
 // is [B x H], wh is [4H x H], and z is [B x 4H]. Per row and gate the
 // association is (wx_j·x) + ((wh_j·h) + bias_j), each dot a k-ascending
 // single accumulator — bit-identical to GateMatVec. Gate-outer order
-// streams the weight matrices once per batched timestep, and blocking
-// four batch rows keeps four accumulator chains per dot phase in
-// flight to hide the FP-add latency of the serial summation order.
+// streams the weight matrices once per batched timestep, and the inner
+// tiles register-block 4 batch rows × 2 gate columns: eight independent
+// accumulator chains per dot phase hide the FP-add latency of the
+// serial summation order, and each loaded x/h row feeds two gate
+// columns — which is what lets the batched path beat B repeated
+// GateMatVecs even at B = 2–4.
 func GateMatMul(z, x, wx, h, wh *Matrix, bias []float64) {
 	if z.Rows != x.Rows || x.Rows != h.Rows {
 		panic(fmt.Sprintf("tensor: GateMatMul batch rows %d/%d/%d", z.Rows, x.Rows, h.Rows))
@@ -32,7 +35,84 @@ func GateMatMul(z, x, wx, h, wh *Matrix, bias []float64) {
 		panic(fmt.Sprintf("tensor: GateMatMul inputs %d/%d, want %d/%d", x.Cols, h.Cols, wx.Cols, wh.Cols))
 	}
 	B, nx, nh, nz := z.Rows, wx.Cols, wh.Cols, z.Cols
-	for j := 0; j < nz; j++ {
+	j := 0
+	for ; j+2 <= nz; j += 2 {
+		wxj0 := wx.Data[j*nx : (j+1)*nx]
+		wxj1 := wx.Data[(j+1)*nx : (j+2)*nx]
+		whj0 := wh.Data[j*nh : (j+1)*nh]
+		whj1 := wh.Data[(j+1)*nh : (j+2)*nh]
+		bj0, bj1 := bias[j], bias[j+1]
+		r := 0
+		for ; r+4 <= B; r += 4 {
+			x0 := x.Data[r*nx : (r+1)*nx]
+			x1 := x.Data[(r+1)*nx : (r+2)*nx]
+			x2 := x.Data[(r+2)*nx : (r+3)*nx]
+			x3 := x.Data[(r+3)*nx : (r+4)*nx]
+			var s00, s01, s10, s11, s20, s21, s30, s31 float64
+			for k, w0 := range wxj0 {
+				w1 := wxj1[k]
+				v := x0[k]
+				s00 += v * w0
+				s01 += v * w1
+				v = x1[k]
+				s10 += v * w0
+				s11 += v * w1
+				v = x2[k]
+				s20 += v * w0
+				s21 += v * w1
+				v = x3[k]
+				s30 += v * w0
+				s31 += v * w1
+			}
+			h0 := h.Data[r*nh : (r+1)*nh]
+			h1 := h.Data[(r+1)*nh : (r+2)*nh]
+			h2 := h.Data[(r+2)*nh : (r+3)*nh]
+			h3 := h.Data[(r+3)*nh : (r+4)*nh]
+			var t00, t01, t10, t11, t20, t21, t30, t31 float64
+			for k, w0 := range whj0 {
+				w1 := whj1[k]
+				v := h0[k]
+				t00 += v * w0
+				t01 += v * w1
+				v = h1[k]
+				t10 += v * w0
+				t11 += v * w1
+				v = h2[k]
+				t20 += v * w0
+				t21 += v * w1
+				v = h3[k]
+				t30 += v * w0
+				t31 += v * w1
+			}
+			z.Data[r*nz+j] = s00 + (t00 + bj0)
+			z.Data[r*nz+j+1] = s01 + (t01 + bj1)
+			z.Data[(r+1)*nz+j] = s10 + (t10 + bj0)
+			z.Data[(r+1)*nz+j+1] = s11 + (t11 + bj1)
+			z.Data[(r+2)*nz+j] = s20 + (t20 + bj0)
+			z.Data[(r+2)*nz+j+1] = s21 + (t21 + bj1)
+			z.Data[(r+3)*nz+j] = s30 + (t30 + bj0)
+			z.Data[(r+3)*nz+j+1] = s31 + (t31 + bj1)
+		}
+		for ; r < B; r++ {
+			xr := x.Data[r*nx : (r+1)*nx]
+			hr := h.Data[r*nh : (r+1)*nh]
+			var s0, s1 float64
+			for k, v := range xr {
+				s0 += v * wxj0[k]
+				s1 += v * wxj1[k]
+			}
+			var t0, t1 float64
+			for k, v := range hr {
+				t0 += v * whj0[k]
+				t1 += v * whj1[k]
+			}
+			z.Data[r*nz+j] = s0 + (t0 + bj0)
+			z.Data[r*nz+j+1] = s1 + (t1 + bj1)
+		}
+	}
+	// Odd gate-width tail (cannot occur for 4H gate layouts; kept for
+	// generality): the single-column 4-row blocking.
+	for ; j < nz; j++ {
 		wxj := wx.Data[j*nx : (j+1)*nx]
 		whj := wh.Data[j*nh : (j+1)*nh]
 		bj := bias[j]

@@ -1,0 +1,42 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkGateMatMulWidth tracks the forward gate GEMM's per-row cost
+// across batch widths — the serving-path coalescer's kernel. The
+// interesting metric is ns/row: per-row cost must not rise as the
+// batch widens (the batched path must not tax B=1), and drops on hosts
+// where the weight stream misses cache per serial call.
+func BenchmarkGateMatMulWidth(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	const H, In = 64, 64
+	wx := New(4*H, In)
+	wh := New(4*H, H)
+	bias := make([]float64, 4*H)
+	for i := range wx.Data {
+		wx.Data[i] = rng.NormFloat64()
+	}
+	for i := range wh.Data {
+		wh.Data[i] = rng.NormFloat64()
+	}
+	for _, rows := range []int{1, 2, 4, 8, 32} {
+		b.Run(fmt.Sprintf("rows-%d", rows), func(b *testing.B) {
+			x := New(rows, In)
+			h := New(rows, H)
+			z := New(rows, 4*H)
+			for i := range x.Data {
+				x.Data[i] = rng.NormFloat64()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				GateMatMul(z, x, wx, h, wh, bias)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(rows), "ns/row")
+		})
+	}
+}

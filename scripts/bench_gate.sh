@@ -1,0 +1,47 @@
+#!/bin/sh
+# CI throughput gate for the serving path. Runs
+# BenchmarkStreamThroughput (pre-parsed events through IngestEvent at
+# micro-batch widths 1, 8, 32) and fails if the B=1 per-event rate —
+# the path every idle shard still takes — regressed more than 10%
+# against the checked-in baseline in BENCH_PR6.json.
+#
+# Raw events/sec is machine-dependent, so the floor is overridable:
+#   DESH_BENCH_MIN_EVENTS=250000 scripts/bench_gate.sh   # explicit floor
+#   DESH_BENCH_MIN_EVENTS=0      scripts/bench_gate.sh   # record, never fail
+#   DESH_BENCH_TIME=1s           scripts/bench_gate.sh   # per-bench budget
+set -eu
+
+GO=${GO:-go}
+BASE_JSON=${BASE_JSON:-BENCH_PR6.json}
+
+if [ -n "${DESH_BENCH_MIN_EVENTS:-}" ]; then
+    floor=$DESH_BENCH_MIN_EVENTS
+else
+    baseline=$(sed -n 's/^ *"b1_baseline_events_per_sec": \([0-9]*\).*/\1/p' "$BASE_JSON")
+    if [ -z "$baseline" ]; then
+        echo "bench_gate: FAIL — no b1_baseline_events_per_sec in $BASE_JSON" >&2
+        exit 1
+    fi
+    floor=$((baseline * 90 / 100))
+fi
+
+echo "bench_gate: running StreamThroughput (floor: $floor events/sec at micro-batch 1)"
+out=$($GO test ./internal/stream/ -run '^$' -bench BenchmarkStreamThroughput \
+    -benchtime "${DESH_BENCH_TIME:-2s}" -count 1)
+echo "$out"
+
+# Benchmark lines read "BenchmarkStreamThroughput/micro-batch-1-4  N  ns/op
+# ... 53141 events/sec ..."; take the number preceding the unit token.
+b1=$(echo "$out" | awk '$1 ~ /micro-batch-1-|micro-batch-1$/ {
+    for (i = 2; i < NF; i++) if ($(i+1) == "events/sec") printf "%.0f", $i
+}')
+if [ -z "$b1" ]; then
+    echo "bench_gate: FAIL — could not parse micro-batch-1 events/sec" >&2
+    exit 1
+fi
+
+if [ "$b1" -lt "$floor" ]; then
+    echo "bench_gate: FAIL — micro-batch-1 ran $b1 events/sec, floor $floor" >&2
+    exit 1
+fi
+echo "bench_gate: OK — micro-batch-1 ran $b1 events/sec (floor $floor)"
