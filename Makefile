@@ -14,10 +14,11 @@ vet:
 # The race detector runs over the packages that fan work out to the
 # worker pool (mini-batch BPTT shards, Phase-3 inference, the Figure-8
 # sweep via experiments' core usage, mini-batch skip-gram training),
-# the pool itself, the sharded streaming engine behind deshd, and its
-# crash-recovery substrate.
+# the pool itself, the sharded streaming engine behind deshd, its
+# crash-recovery substrate, and the continuous-learning loop that
+# retrains and hot-swaps models behind live traffic.
 race:
-	GOMAXPROCS=4 $(GO) test -race ./internal/core/... ./internal/embed/... ./internal/nn/... ./internal/par/... ./internal/stream/... ./internal/chain/... ./internal/persist/...
+	GOMAXPROCS=4 $(GO) test -race ./internal/core/... ./internal/embed/... ./internal/nn/... ./internal/par/... ./internal/stream/... ./internal/chain/... ./internal/persist/... ./internal/adapt/...
 
 # verify is the tier-1 gate: build + full tests, plus vet and the race
 # detector over the concurrent packages.

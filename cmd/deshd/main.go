@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"desh"
+	"desh/internal/buildinfo"
 )
 
 func main() {
@@ -74,7 +75,16 @@ func run() error {
 	skew := flag.Duration("skew-tolerance", 0, "quarantine events this far ahead of the local clock (0 disables)")
 	shed := flag.String("shed-policy", "off", `overload degradation: "off" or "degrade" (walk shed levels under pressure)`)
 	microBatch := flag.Int("micro-batch", 32, "events one shard wakeup coalesces and scores as a batch (1 disables)")
+	retrainEvery := flag.Duration("retrain-every", 0, "retrain a candidate model from the WAL at this interval (0 disables; requires -state-dir)")
+	driftThreshold := flag.Float64("drift-threshold", 0, "retrain when the drift score reaches this (0 disables; requires -state-dir)")
+	shadowWindow := flag.Int("shadow-window", 200, "closed-chain verdicts a candidate is shadow-scored on before swapping")
+	swapPolicy := flag.String("swap-policy", "auto", `candidate promotion: "auto" (shadow-gate then swap), "shadow" (evaluate only), "immediate"`)
+	showVersion := flag.Bool("version", false, "print version information and exit")
 	flag.Parse()
+	if *showVersion {
+		buildinfo.Fprint(os.Stdout, "deshd")
+		return nil
+	}
 
 	mf, err := os.Open(*model)
 	if err != nil {
@@ -137,6 +147,32 @@ func run() error {
 	}
 	if replayed := s.SnapshotMetrics().ReplayedEvents; replayed > 0 {
 		fmt.Fprintf(os.Stderr, "deshd: recovered %d events from the WAL tail\n", replayed)
+	}
+	if file := s.ActiveModelFile(); file != "" {
+		fmt.Fprintf(os.Stderr, "deshd: serving hot-swapped model %s from the state dir\n", file)
+	}
+
+	var learner *desh.Learner
+	if *retrainEvery > 0 || *driftThreshold > 0 {
+		if *stateDir == "" {
+			return fmt.Errorf("-retrain-every/-drift-threshold require -state-dir: the WAL is the retraining corpus")
+		}
+		policy, err := desh.ParseSwapPolicy(*swapPolicy)
+		if err != nil {
+			return err
+		}
+		learner, err = desh.NewLearner(s, p, desh.LearnerConfig{
+			StateDir:       *stateDir,
+			RetrainEvery:   *retrainEvery,
+			DriftThreshold: *driftThreshold,
+			ShadowWindow:   *shadowWindow,
+			Policy:         policy,
+			Diag:           os.Stderr, // lines arrive prefixed "adapt: "
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "deshd: continuous learning armed (policy %s, shadow window %d)\n", policy, *shadowWindow)
 	}
 
 	// Warning printer: runs until Close closes the alert channel, so
@@ -234,6 +270,9 @@ func run() error {
 	if ln != nil {
 		ln.Close()
 	}
+	if learner != nil {
+		learner.Close()
+	}
 	if err := s.Close(); err != nil {
 		return err
 	}
@@ -254,5 +293,10 @@ func run() error {
 		"deshd: disorder: late %d (dropped %d, clamped %d), duplicates %d, skew-quarantined %d, reorder overflow %d, window evicted %d, shed %d (max level %d)\n",
 		snap.Late, snap.LateDropped, snap.LateClamped, snap.Duplicates, snap.SkewQuarantined,
 		snap.ReorderOverflow, snap.WindowEvicted, snap.Shed, snap.ShedLevelMax)
+	fmt.Fprintf(os.Stderr,
+		"deshd: learning: drift %.2f, unseen phrases %d, retrains %d (failed %d), shadow scored %d (accepted %d, rejected %d, dropped %d), swaps %d (errors %d)\n",
+		snap.DriftScore, snap.UnseenPhrases, snap.Retrains, snap.RetrainFailures,
+		snap.ShadowScored, snap.ShadowAccepted, snap.ShadowRejected, snap.ShadowDropped,
+		snap.Swaps, snap.SwapErrors)
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"desh/internal/buildinfo"
 	"desh/internal/deeplog"
 	"desh/internal/experiments"
 	"desh/internal/metrics"
@@ -26,7 +27,12 @@ func main() {
 	scaleName := flag.String("scale", "default", "dataset scale: default or quick")
 	expList := flag.String("exp", "all", "comma-separated experiment ids or 'all'")
 	epochs1 := flag.Int("epochs1", 2, "Phase-1 epochs")
+	showVersion := flag.Bool("version", false, "print version information and exit")
 	flag.Parse()
+	if *showVersion {
+		buildinfo.Fprint(os.Stdout, "deshexp")
+		return
+	}
 
 	scale := experiments.DefaultScale()
 	if *scaleName == "quick" {

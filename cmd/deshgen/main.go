@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"desh"
+	"desh/internal/buildinfo"
 )
 
 func main() {
@@ -26,7 +27,12 @@ func main() {
 	seed := flag.Int64("seed", 31, "generator seed")
 	out := flag.String("o", "", "output file (default stdout)")
 	truth := flag.Bool("truth", false, "also write <out>.truth with ground-truth records")
+	showVersion := flag.Bool("version", false, "print version information and exit")
 	flag.Parse()
+	if *showVersion {
+		buildinfo.Fprint(os.Stdout, "deshgen")
+		return
+	}
 
 	run, err := desh.GenerateSyntheticLog(desh.SyntheticLogOptions{
 		Machine: *machine, Nodes: *nodes, Hours: *hours, Failures: *failures, Seed: *seed,

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"desh"
+	"desh/internal/buildinfo"
 	"desh/internal/metrics"
 )
 
@@ -23,7 +24,12 @@ func main() {
 	in := flag.String("in", "", "test log file (required)")
 	model := flag.String("model", "desh.model", "trained model file")
 	evaluate := flag.Bool("evaluate", false, "score predictions against ground-truth terminal messages")
+	showVersion := flag.Bool("version", false, "print version information and exit")
 	flag.Parse()
+	if *showVersion {
+		buildinfo.Fprint(os.Stdout, "deshpredict")
+		return
+	}
 	if *in == "" {
 		fatal(fmt.Errorf("-in is required"))
 	}

@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"desh"
+	"desh/internal/buildinfo"
 )
 
 func main() {
@@ -22,7 +23,12 @@ func main() {
 	batch := flag.Int("batch", 8, "Phase-1 mini-batch size (1 = serial)")
 	batch2 := flag.Int("batch2", 1, "Phase-2 mini-batch size (default serial: batching trades lead-time precision for throughput)")
 	seed := flag.Int64("seed", 1, "training seed")
+	showVersion := flag.Bool("version", false, "print version information and exit")
 	flag.Parse()
+	if *showVersion {
+		buildinfo.Fprint(os.Stdout, "deshtrain")
+		return
+	}
 	if *in == "" {
 		fatal(fmt.Errorf("-in is required"))
 	}

@@ -1,0 +1,39 @@
+package desh
+
+import (
+	"desh/internal/adapt"
+)
+
+// Learner is the continuous-learning manager: it watches a Streamer's
+// drift signals, retrains candidate models in the background from the
+// crash-recovery WAL, shadow-scores them against live traffic, and
+// hot-swaps winners in without dropping an event. See LearnerConfig
+// for the knobs and the deshd flags -retrain-every, -drift-threshold,
+// -shadow-window and -swap-policy for the operator surface.
+type Learner = adapt.Manager
+
+// LearnerConfig tunes a Learner; the zero value plus StateDir and at
+// least one armed trigger (RetrainEvery or DriftThreshold) is a
+// working configuration.
+type LearnerConfig = adapt.Config
+
+// SwapPolicy selects what happens after a candidate model trains:
+// shadow-gate then swap (auto), evaluate only (shadow), or swap
+// without evaluation (immediate).
+type SwapPolicy = adapt.Policy
+
+const (
+	SwapPolicyAuto      = adapt.PolicyAuto
+	SwapPolicyShadow    = adapt.PolicyShadow
+	SwapPolicyImmediate = adapt.PolicyImmediate
+)
+
+// ParseSwapPolicy maps "auto", "shadow" or "immediate" to a SwapPolicy.
+func ParseSwapPolicy(s string) (SwapPolicy, error) { return adapt.ParsePolicy(s) }
+
+// NewLearner starts continuous learning for s, which must have been
+// built from p with a state directory (the WAL is the training
+// corpus). Close the Learner before closing the Streamer.
+func NewLearner(s *Streamer, p *Predictor, cfg LearnerConfig) (*Learner, error) {
+	return adapt.New(s, p.Pipeline(), cfg)
+}

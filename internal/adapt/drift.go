@@ -1,0 +1,142 @@
+// Drift tracking for the continuous-learning loop.
+//
+// The streamer exports raw drift counters (unseen phrases, verdict MSE
+// and lead-time-error sums); Drift folds their per-tick deltas into
+// EWMA rates and compares them against references to produce a single
+// dimensionless score. A score of 1.0 on any component means "as bad
+// as the configured reference"; the manager triggers retraining when
+// the score crosses its threshold.
+package adapt
+
+import "math"
+
+// DriftConfig tunes the online drift score.
+type DriftConfig struct {
+	// Alpha is the EWMA smoothing factor applied to each per-tick rate
+	// (0 < Alpha <= 1; higher reacts faster). Default 0.2.
+	Alpha float64
+	// RefUnseenRate is the unseen-phrase rate (unseen events / ingested
+	// events per tick) that scores 1.0 on the vocabulary component.
+	// Default 0.02 — 2% of traffic hitting phrases the model never saw.
+	RefUnseenRate float64
+	// RefInflation is the multiple of the learned baseline at which the
+	// verdict-MSE and lead-error components score 1.0. Default 2.0 —
+	// the smoothed error doubling counts as full drift.
+	RefInflation float64
+	// BaselineTicks is how many ticks with verdict traffic are averaged
+	// into the error baselines before those components start scoring.
+	// Default 10.
+	BaselineTicks int
+}
+
+func (c *DriftConfig) setDefaults() {
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.2
+	}
+	if c.RefUnseenRate <= 0 {
+		c.RefUnseenRate = 0.02
+	}
+	if c.RefInflation <= 1 {
+		c.RefInflation = 2.0
+	}
+	if c.BaselineTicks <= 0 {
+		c.BaselineTicks = 10
+	}
+}
+
+// Drift accumulates per-tick metric deltas into a drift score. It is
+// not goroutine-safe; the manager goroutine owns it.
+type Drift struct {
+	cfg DriftConfig
+
+	// EWMA state. haveX gates the first observation (seed, don't blend).
+	unseenRate float64
+	haveUnseen bool
+	mse        float64
+	haveMSE    bool
+	leadErr    float64
+	haveLead   bool
+
+	// Error baselines, learned from the first BaselineTicks ticks that
+	// carried verdicts, then frozen.
+	baseTicks   int
+	baseMSESum  float64
+	baseLeadSum float64
+	baseMSE     float64
+	baseLead    float64
+	baseFrozen  bool
+}
+
+// NewDrift returns a tracker with zeroed state and defaulted config.
+func NewDrift(cfg DriftConfig) *Drift {
+	cfg.setDefaults()
+	return &Drift{cfg: cfg}
+}
+
+// Tick folds one interval's metric deltas: events ingested, unseen
+// phrases among them, verdicts issued, the summed verdict MSE, and the
+// count/sum of absolute lead-time errors on flagged verdicts.
+func (d *Drift) Tick(events, unseen, verdicts int64, mseSum float64, leadCount int64, leadSum float64) {
+	if events > 0 {
+		d.ewma(&d.unseenRate, &d.haveUnseen, float64(unseen)/float64(events))
+	}
+	if verdicts > 0 {
+		mse := mseSum / float64(verdicts)
+		var lead float64
+		if leadCount > 0 {
+			lead = leadSum / float64(leadCount)
+		}
+		if !d.baseFrozen {
+			d.baseTicks++
+			d.baseMSESum += mse
+			d.baseLeadSum += lead
+			if d.baseTicks >= d.cfg.BaselineTicks {
+				d.baseMSE = d.baseMSESum / float64(d.baseTicks)
+				d.baseLead = d.baseLeadSum / float64(d.baseTicks)
+				d.baseFrozen = true
+			}
+			return // still learning what "normal" looks like
+		}
+		d.ewma(&d.mse, &d.haveMSE, mse)
+		if leadCount > 0 {
+			d.ewma(&d.leadErr, &d.haveLead, lead)
+		}
+	}
+}
+
+func (d *Drift) ewma(v *float64, have *bool, x float64) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return
+	}
+	if !*have {
+		*v, *have = x, true
+		return
+	}
+	*v = d.cfg.Alpha*x + (1-d.cfg.Alpha)**v
+}
+
+// Score returns the current drift score: the worst of the component
+// ratios, each normalized so 1.0 means "at the configured reference".
+// Components without enough history contribute 0.
+func (d *Drift) Score() float64 {
+	var s float64
+	if d.haveUnseen {
+		s = math.Max(s, d.unseenRate/d.cfg.RefUnseenRate)
+	}
+	if d.baseFrozen {
+		if d.haveMSE && d.baseMSE > 0 {
+			s = math.Max(s, d.mse/(d.baseMSE*d.cfg.RefInflation))
+		}
+		if d.haveLead && d.baseLead > 0 {
+			s = math.Max(s, d.leadErr/(d.baseLead*d.cfg.RefInflation))
+		}
+	}
+	return s
+}
+
+// Reset clears all state — called after a successful model swap so the
+// score restarts against the new model's behavior.
+func (d *Drift) Reset() {
+	cfg := d.cfg
+	*d = Drift{cfg: cfg}
+}

@@ -1,0 +1,40 @@
+// Package buildinfo is the one place the desh binaries describe
+// themselves: every cmd wires its -version flag here so the output
+// format, the release version and the model-format compatibility note
+// stay in lockstep across deshtrain, deshpredict, deshgen, deshexp and
+// deshd.
+package buildinfo
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+
+	"desh/internal/core"
+)
+
+// Version is the release version of the desh tool suite.
+const Version = "0.7.0"
+
+// Fprint writes the standard -version block for the named binary:
+// suite version, model format version (what DESHMODL files this build
+// reads and writes), the Go toolchain, and the VCS revision when the
+// binary was built from a stamped checkout.
+func Fprint(w io.Writer, binary string) {
+	fmt.Fprintf(w, "%s version %s\n", binary, Version)
+	fmt.Fprintf(w, "model format: DESHMODL v%d\n", core.ModelFormatVersion)
+	fmt.Fprintf(w, "go: %s %s/%s\n", runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				rev := s.Value
+				if len(rev) > 12 {
+					rev = rev[:12]
+				}
+				fmt.Fprintf(w, "revision: %s\n", rev)
+				break
+			}
+		}
+	}
+}

@@ -201,11 +201,14 @@ var index = func() map[string]int {
 	return m
 }()
 
-// Lookup returns the catalog entry for a masked static phrase key.
+// Lookup returns the catalog entry for a masked phrase key — a static
+// entry when the key is known at build time, or a runtime-extension
+// entry registered with Extend. Known phrases never touch the
+// extension lock.
 func Lookup(key string) (Phrase, bool) {
 	i, ok := index[key]
 	if !ok {
-		return Phrase{}, false
+		return lookupExt(key)
 	}
 	return Catalog[i], true
 }

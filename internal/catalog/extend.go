@@ -1,0 +1,62 @@
+package catalog
+
+import "sync"
+
+// Runtime vocabulary extension: production log vocabularies drift past
+// whatever the static catalog knew at build time. The streamer
+// registers every phrase key it assigns a fresh encoder id to, so
+// Lookup (and through it the labeler and the class voter) can see the
+// live vocabulary, and the continuous-learning loop can report how far
+// it has grown. Extension entries never shadow static ones and are
+// process-local — they are not persisted; recovery re-registers them
+// while replaying the WAL.
+var (
+	extMu      sync.RWMutex
+	extPhrases map[string]Phrase
+	extOrder   []string
+)
+
+// Extend registers a phrase key seen at runtime that the static
+// catalog does not know, with the given label. It reports whether the
+// key was newly added; keys already known (statically or from an
+// earlier Extend) are left untouched.
+func Extend(key string, lab Label) bool {
+	if key == "" {
+		return false
+	}
+	if _, ok := index[key]; ok {
+		return false
+	}
+	extMu.Lock()
+	defer extMu.Unlock()
+	if _, ok := extPhrases[key]; ok {
+		return false
+	}
+	if extPhrases == nil {
+		extPhrases = make(map[string]Phrase)
+	}
+	extPhrases[key] = Phrase{Template: key, Key: key, Label: lab}
+	extOrder = append(extOrder, key)
+	return true
+}
+
+func lookupExt(key string) (Phrase, bool) {
+	extMu.RLock()
+	p, ok := extPhrases[key]
+	extMu.RUnlock()
+	return p, ok
+}
+
+// Extended returns the runtime-extension keys in registration order.
+func Extended() []string {
+	extMu.RLock()
+	defer extMu.RUnlock()
+	return append([]string(nil), extOrder...)
+}
+
+// ResetExtended clears the runtime extension — test isolation only.
+func ResetExtended() {
+	extMu.Lock()
+	extPhrases, extOrder = nil, nil
+	extMu.Unlock()
+}

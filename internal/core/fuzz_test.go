@@ -1,0 +1,58 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+
+	"desh/internal/persist"
+)
+
+// FuzzModelHeader throws arbitrary bytes at the model loader. The
+// invariants under fuzz:
+//
+//   - Load never panics, whatever the input.
+//   - Any input carrying the DESHMODL magic that fails to load reports
+//     the typed ErrModelDamaged, so operators always get the "retrain
+//     with deshtrain" remediation for corrupt model files.
+//
+// The committed seed corpus covers the interesting frame corruptions:
+// truncation inside the header, a wrong magic, a future format
+// version, and a checksum mismatch.
+func FuzzModelHeader(f *testing.F) {
+	// Truncated inside the header.
+	f.Add([]byte(modelMagic + "\x01\x00"))
+	// Wrong magic: legacy (unframed) path, must not be typed as damage.
+	f.Add([]byte("NOTMODEL arbitrary trailing bytes"))
+	// Future format version.
+	futureHdr := append([]byte(modelMagic), 0x7f, 0, 0, 0, 0)
+	f.Add(append(futureHdr, []byte("payload from the future")...))
+	// Valid version, corrupt checksum.
+	badCRC := append([]byte(modelMagic), modelVersion, 0xde, 0xad, 0xbe, 0xef)
+	f.Add(append(badCRC, []byte("payload that does not match the checksum")...))
+	// Valid frame around a garbage payload: passes the CRC, dies in gob.
+	garbage := []byte("this is not a gob stream")
+	hdr := append([]byte(modelMagic), modelVersion)
+	hdr = binary.LittleEndian.AppendUint32(hdr, persist.Checksum(garbage))
+	f.Add(append(hdr, garbage...))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Load(bytes.NewReader(data))
+		if err == nil {
+			if p == nil {
+				t.Fatal("Load returned nil pipeline with nil error")
+			}
+			return
+		}
+		framed := len(data) >= len(modelMagic) && string(data[:len(modelMagic)]) == modelMagic
+		if framed && !errors.Is(err, ErrModelDamaged) {
+			t.Fatalf("framed input failed without ErrModelDamaged: %v", err)
+		}
+		if framed && !strings.Contains(err.Error(), "retrain with deshtrain") {
+			t.Fatalf("damaged-model error lost the operator remediation: %v", err)
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 
@@ -26,6 +27,17 @@ const (
 	modelVersion   = 1
 	modelHeaderLen = len(modelMagic) + 1 + 4
 )
+
+// ModelFormatVersion is the DESHMODL format version this build writes
+// and reads — exported for version banners and operator tooling.
+const ModelFormatVersion = modelVersion
+
+// ErrModelDamaged tags every Load failure on data that carries the
+// DESHMODL magic but cannot be loaded: truncation, a future format
+// version, a checksum mismatch, or a payload that decodes to an
+// unusable pipeline. The error text doubles as the operator fix, so
+// wrap sites end their message with it via %w.
+var ErrModelDamaged = errors.New("retrain with deshtrain")
 
 // savedPipeline is the gob wire format of a trained pipeline. Gradients
 // travel along with the weights (they are zero between steps), which
@@ -83,25 +95,46 @@ func Load(r io.Reader) (*Pipeline, error) {
 		return nil, fmt.Errorf("core: load: %w", err)
 	}
 	payload := data
-	if len(data) >= modelHeaderLen && string(data[:len(modelMagic)]) == modelMagic {
+	framed := len(data) >= len(modelMagic) && string(data[:len(modelMagic)]) == modelMagic
+	if framed {
+		if len(data) < modelHeaderLen {
+			return nil, fmt.Errorf("core: load: model file truncated inside the header — %w", ErrModelDamaged)
+		}
 		version := data[len(modelMagic)]
 		if version != modelVersion {
-			return nil, fmt.Errorf("core: load: model format version %d, this build reads %d — retrain with deshtrain", version, modelVersion)
+			return nil, fmt.Errorf("core: load: model format version %d, this build reads %d — %w", version, modelVersion, ErrModelDamaged)
 		}
 		sum := binary.LittleEndian.Uint32(data[len(modelMagic)+1:])
 		payload = data[modelHeaderLen:]
 		if persist.Checksum(payload) != sum {
-			return nil, fmt.Errorf("core: load: model payload checksum mismatch (file damaged) — retrain with deshtrain")
+			return nil, fmt.Errorf("core: load: model payload checksum mismatch (file damaged) — %w", ErrModelDamaged)
 		}
+	}
+	// Past the frame checks, any failure on a framed file still means
+	// the file is not a usable model — keep the typed error so callers
+	// can distinguish damage from I/O trouble. Unframed (legacy) files
+	// keep their original untyped messages.
+	damaged := func(format string, args ...any) error {
+		args = append(args, ErrModelDamaged)
+		return fmt.Errorf("core: load: "+format+" — %w", args...)
 	}
 	var s savedPipeline
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&s); err != nil {
+		if framed {
+			return nil, damaged("model payload does not decode (%v)", err)
+		}
 		return nil, fmt.Errorf("core: load: %w", err)
 	}
 	if err := s.Cfg.Validate(); err != nil {
+		if framed {
+			return nil, damaged("model carries an invalid config (%v)", err)
+		}
 		return nil, fmt.Errorf("core: load: %w", err)
 	}
 	if s.Phase2 == nil {
+		if framed {
+			return nil, damaged("model has no Phase-2 network")
+		}
 		return nil, fmt.Errorf("core: load: model has no Phase-2 network")
 	}
 	p := &Pipeline{

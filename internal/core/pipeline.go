@@ -27,6 +27,11 @@ type Pipeline struct {
 	trainVocab int // vocabulary size frozen at training time
 
 	trainedChains []chain.Chain
+
+	// trainPool, when set, carries Train's data-parallel stages instead
+	// of a private full-width pool — how background retraining runs at
+	// reduced priority next to a serving streamer.
+	trainPool *par.Pool
 }
 
 // New returns an untrained pipeline.
@@ -40,6 +45,25 @@ func New(cfg Config) (*Pipeline, error) {
 		enc: &logparse.Encoder{},
 	}, nil
 }
+
+// NewSeeded returns an untrained pipeline whose phrase encoder is
+// pre-populated with keys in order. A candidate model retrained from a
+// live streamer's vocabulary must assign the same id to every phrase
+// the active model knows — seeding the encoder is what makes the two
+// models' id spaces line up for shadow scoring and hot swap.
+func NewSeeded(cfg Config, keys []string) (*Pipeline, error) {
+	p, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.enc = logparse.NewEncoderFromKeys(keys)
+	return p, nil
+}
+
+// SetTrainPool directs Train's parallel stages onto pool instead of a
+// private GOMAXPROCS-wide one. The pipeline does not close an injected
+// pool. Pass nil to restore the default.
+func (p *Pipeline) SetTrainPool(pool *par.Pool) { p.trainPool = pool }
 
 // Config returns the pipeline configuration.
 func (p *Pipeline) Config() Config { return p.cfg }
@@ -59,6 +83,21 @@ func (p *Pipeline) Phase1Model() *nn.SeqClassifier { return p.phase1 }
 
 // Phase2Model returns the trained ΔT regressor.
 func (p *Pipeline) Phase2Model() *nn.SeqRegressor { return p.phase2 }
+
+// TrainVocab returns the vocabulary size frozen at training time
+// (0 before training). Phrase ids at or beyond it are phrases the
+// model has never seen — the streamer's unseen-phrase drift signal.
+func (p *Pipeline) TrainVocab() int { return p.trainVocab }
+
+// Fingerprint returns a stable hash of the trained Phase-2 weights
+// (0 when untrained) — enough to tell two models apart without
+// comparing every matrix, used by swap tests and diagnostics.
+func (p *Pipeline) Fingerprint() uint64 {
+	if p.phase2 == nil {
+		return 0
+	}
+	return nn.WeightsFingerprint(p.phase2.Params())
+}
 
 // TrainReport summarizes a Train run.
 type TrainReport struct {
@@ -110,8 +149,11 @@ func (p *Pipeline) Train(events []logparse.Event) (*TrainReport, error) {
 	// One worker pool serves every training phase — skip-gram batches,
 	// Phase-1 and Phase-2 shard fan-out — instead of each call-site
 	// spawning its own goroutines.
-	pool := par.NewPool(0)
-	defer pool.Close()
+	pool := p.trainPool
+	if pool == nil {
+		pool = par.NewPool(0)
+		defer pool.Close()
+	}
 
 	// Skip-gram embeddings over the phrase sequences (§3.1).
 	embCfg := embed.DefaultConfig(p.cfg.EmbedDim)

@@ -1,0 +1,29 @@
+package nn
+
+import "math"
+
+// WeightsFingerprint hashes the exact bit patterns of every parameter
+// value, in parameter and element order (FNV-1a over the float64 bits).
+// Two models fingerprint equal iff their weights are bit-identical, so
+// a save/load round trip preserves the fingerprint and any training
+// difference changes it.
+func WeightsFingerprint(params []*Param) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime64
+		}
+	}
+	for _, p := range params {
+		mix(uint64(p.Value.Rows)<<32 | uint64(uint32(p.Value.Cols)))
+		for _, x := range p.Value.Data {
+			mix(math.Float64bits(x))
+		}
+	}
+	return h
+}

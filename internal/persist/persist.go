@@ -45,6 +45,11 @@ const (
 	// RecQuarantine marks an event the shard supervisor quarantined
 	// after repeated crash-loops; replay skips it without reprocessing.
 	RecQuarantine byte = 3
+	// RecSwap is the durable commit point of a hot model swap: events
+	// before it score on the previous model, events after it on the
+	// model file the record names. Replay re-applies the flip at
+	// exactly this position.
+	RecSwap byte = 4
 )
 
 // EventRecord is the WAL payload of one ingested event. Key rides along
@@ -202,6 +207,32 @@ func DecodeQuarantine(b []byte) (QuarantineRecord, error) {
 		return rec, err
 	}
 	if rec.Key, _, err = readString(b); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}
+
+// SwapRecord is the WAL payload of one committed hot model swap.
+// ModelFile names a DESHMODL file inside the state directory (never a
+// path): the file is made durable before the record is appended, so a
+// replay that reaches the record can always load it.
+type SwapRecord struct {
+	ModelFile string
+}
+
+// EncodeSwap frames a swap record.
+func EncodeSwap(rec SwapRecord) []byte {
+	b := make([]byte, 0, 1+len(rec.ModelFile)+2)
+	b = append(b, RecSwap)
+	b = appendString(b, rec.ModelFile)
+	return b
+}
+
+// DecodeSwap parses a record produced by EncodeSwap.
+func DecodeSwap(b []byte) (SwapRecord, error) {
+	var rec SwapRecord
+	var err error
+	if rec.ModelFile, _, err = readString(b); err != nil {
 		return rec, err
 	}
 	return rec, nil

@@ -45,15 +45,16 @@ type WAL struct {
 	fs  faultfs.FS
 	dir string
 
-	mu        sync.Mutex
-	f         faultfs.File
-	w         *bufio.Writer
-	seq       uint64 // next sequence number to assign
-	segBytes  int64
-	maxBytes  int64
-	syncEvery int
-	unsynced  int
-	closed    bool
+	mu          sync.Mutex
+	f           faultfs.File
+	w           *bufio.Writer
+	seq         uint64 // next sequence number to assign
+	segBytes    int64
+	maxBytes    int64
+	syncEvery   int
+	unsynced    int
+	retainFloor uint64
+	closed      bool
 }
 
 func segPath(dir string, base uint64) string {
@@ -202,11 +203,26 @@ func (w *WAL) rotateLocked() error {
 	return w.openSegment()
 }
 
+// SetRetainFloor pins WAL segments holding records at or after seq:
+// RemoveSegmentsBelow will not delete past it even when a snapshot
+// covers them. The continuous-learning manager uses this to keep its
+// training window replayable across snapshot truncation. Zero clears
+// the floor.
+func (w *WAL) SetRetainFloor(seq uint64) {
+	w.mu.Lock()
+	w.retainFloor = seq
+	w.mu.Unlock()
+}
+
 // RemoveSegmentsBelow deletes every segment whose records all precede
-// boundary — called after a snapshot covering them is durable.
+// boundary — called after a snapshot covering them is durable. A
+// retain floor set below boundary caps the deletion at the floor.
 func (w *WAL) RemoveSegmentsBelow(boundary uint64) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	if w.retainFloor > 0 && w.retainFloor < boundary {
+		boundary = w.retainFloor
+	}
 	bases, err := listSegments(w.fs, w.dir)
 	if err != nil {
 		return err

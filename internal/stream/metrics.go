@@ -194,6 +194,46 @@ type Metrics struct {
 	// DetectBatch path (batches of two or more; singletons take the
 	// serial path).
 	BatchedDetects atomic.Int64
+
+	// Continuous-learning drift taps and loop counters (PR 7).
+
+	// UnseenPhrases counts accepted events whose phrase id is at or
+	// beyond the active model's training vocabulary — phrases the model
+	// has never seen, the primary vocabulary-drift signal.
+	UnseenPhrases atomic.Int64
+	// Verdicts counts closed-chain verdicts scored (flagged or not) —
+	// the denominator of the rolling MSE drift signal.
+	Verdicts atomic.Int64
+	// VerdictMSEMicros accumulates closed-chain MinMSE in micro-units
+	// (clamped per verdict), so VerdictMSEMicros/1e6/Verdicts is the
+	// rolling mean minimum MSE.
+	VerdictMSEMicros atomic.Int64
+	// LeadErrCount / LeadErrMillis accumulate, over flagged closed-chain
+	// verdicts, the absolute error between the model-predicted lead time
+	// and the chain's ground-truth lead time (milli-seconds, clamped) —
+	// the lead-time-error drift signal.
+	LeadErrCount  atomic.Int64
+	LeadErrMillis atomic.Int64
+	// DriftScoreMilli is a gauge: the continuous-learning manager's
+	// current drift score ×1000 (1000 = at the retrain threshold).
+	DriftScoreMilli atomic.Int64
+	// Retrains / RetrainFailures count background retrain attempts.
+	Retrains        atomic.Int64
+	RetrainFailures atomic.Int64
+	// ShadowScored counts closed chains a shadow candidate scored;
+	// ShadowDropped counts chains the shadow queue had to shed (shadow
+	// work never blocks the shard hot path).
+	ShadowScored  atomic.Int64
+	ShadowDropped atomic.Int64
+	// ShadowAccepted / ShadowRejected count shadow-window verdicts on
+	// candidate models.
+	ShadowAccepted atomic.Int64
+	ShadowRejected atomic.Int64
+	// Swaps counts hot model swaps applied; SwapErrors counts swap
+	// attempts that failed validation, persistence or journaling.
+	Swaps      atomic.Int64
+	SwapErrors atomic.Int64
+
 	// Detect is the end-to-end per-event detect latency, measured
 	// enqueue→verdict: queue wait + chain tracking + (possibly batched)
 	// scoring. Exactly one observation per event a shard dequeues.
@@ -203,43 +243,63 @@ type Metrics struct {
 // MetricsSnapshot is a point-in-time JSON view of the registry plus
 // per-shard queue depths.
 type MetricsSnapshot struct {
-	Ingested         int64             `json:"ingested"`
-	Malformed        int64             `json:"malformed"`
-	SafeFiltered     int64             `json:"safe_filtered"`
-	Dropped          int64             `json:"dropped"`
-	ChainsOpen       int64             `json:"chains_open"`
-	ChainsClosed     int64             `json:"chains_closed"`
-	WindowEvicted    int64             `json:"window_evicted"`
-	AlertsFired      int64             `json:"alerts_fired"`
-	AlertsSuppressed int64             `json:"alerts_suppressed"`
-	AlertsDropped    int64             `json:"alerts_dropped"`
-	Processed        int64             `json:"processed"`
-	Oversized        int64             `json:"oversized"`
-	Quarantined      int64             `json:"quarantined"`
-	ShardRestarts    int64             `json:"shard_restarts"`
-	Snapshots        int64             `json:"snapshots"`
-	SnapshotErrors   int64             `json:"snapshot_errors"`
-	WALErrors        int64             `json:"wal_errors"`
-	ReplayedEvents   int64             `json:"replayed_events"`
-	ReplaySuppressed int64             `json:"replay_suppressed"`
-	ConnRejected     int64             `json:"conn_rejected"`
-	Late             int64             `json:"late"`
-	LateDropped      int64             `json:"late_dropped"`
-	LateClamped      int64             `json:"late_clamped"`
-	Duplicates       int64             `json:"duplicates"`
-	SkewQuarantined  int64             `json:"skew_quarantined"`
-	Shed             int64             `json:"shed"`
-	ShedLevel        int64             `json:"shed_level"`
-	ShedLevelMax     int64             `json:"shed_level_max"`
-	ReorderOverflow  int64             `json:"reorder_overflow"`
-	ReorderPending   int64             `json:"reorder_pending"`
-	BatchWakeups     int64             `json:"batch_wakeups"`
+	Ingested         int64 `json:"ingested"`
+	Malformed        int64 `json:"malformed"`
+	SafeFiltered     int64 `json:"safe_filtered"`
+	Dropped          int64 `json:"dropped"`
+	ChainsOpen       int64 `json:"chains_open"`
+	ChainsClosed     int64 `json:"chains_closed"`
+	WindowEvicted    int64 `json:"window_evicted"`
+	AlertsFired      int64 `json:"alerts_fired"`
+	AlertsSuppressed int64 `json:"alerts_suppressed"`
+	AlertsDropped    int64 `json:"alerts_dropped"`
+	Processed        int64 `json:"processed"`
+	Oversized        int64 `json:"oversized"`
+	Quarantined      int64 `json:"quarantined"`
+	ShardRestarts    int64 `json:"shard_restarts"`
+	Snapshots        int64 `json:"snapshots"`
+	SnapshotErrors   int64 `json:"snapshot_errors"`
+	WALErrors        int64 `json:"wal_errors"`
+	ReplayedEvents   int64 `json:"replayed_events"`
+	ReplaySuppressed int64 `json:"replay_suppressed"`
+	ConnRejected     int64 `json:"conn_rejected"`
+	Late             int64 `json:"late"`
+	LateDropped      int64 `json:"late_dropped"`
+	LateClamped      int64 `json:"late_clamped"`
+	Duplicates       int64 `json:"duplicates"`
+	SkewQuarantined  int64 `json:"skew_quarantined"`
+	Shed             int64 `json:"shed"`
+	ShedLevel        int64 `json:"shed_level"`
+	ShedLevelMax     int64 `json:"shed_level_max"`
+	ReorderOverflow  int64 `json:"reorder_overflow"`
+	ReorderPending   int64 `json:"reorder_pending"`
+	BatchWakeups     int64 `json:"batch_wakeups"`
 	// BatchOccupancy is the mean number of events drained per shard
 	// wakeup (0 before the first wakeup; 1.0 means no coalescing).
 	BatchOccupancy float64 `json:"batch_occupancy"`
 	// BatchedDetects counts chains scored through the batched GEMM path.
 	BatchedDetects int64 `json:"batched_detects"`
-	QueueDepths    []int `json:"queue_depths"`
+	// Continuous-learning gauges and counters (PR 7).
+	UnseenPhrases int64 `json:"unseen_phrases"`
+	Verdicts      int64 `json:"verdicts"`
+	// VerdictMSEMean is the rolling mean minimum MSE over closed-chain
+	// verdicts (0 before the first verdict).
+	VerdictMSEMean float64 `json:"verdict_mse_mean"`
+	// LeadErrMeanSeconds is the mean |predicted − actual| lead time over
+	// flagged closed-chain verdicts.
+	LeadErrMeanSeconds float64 `json:"lead_err_mean_s"`
+	// DriftScore is the continuous-learning drift score (1.0 = at the
+	// retrain threshold; 0 when no manager is attached).
+	DriftScore      float64 `json:"drift_score"`
+	Retrains        int64   `json:"retrains"`
+	RetrainFailures int64   `json:"retrain_failures"`
+	ShadowScored    int64   `json:"shadow_scored"`
+	ShadowDropped   int64   `json:"shadow_dropped"`
+	ShadowAccepted  int64   `json:"shadow_accepted"`
+	ShadowRejected  int64   `json:"shadow_rejected"`
+	Swaps           int64   `json:"swaps"`
+	SwapErrors      int64   `json:"swap_errors"`
+	QueueDepths     []int   `json:"queue_depths"`
 	// Watermarks is each shard's event-time watermark in unix
 	// nanoseconds (0 until the shard has seen an event).
 	Watermarks []int64           `json:"watermarks"`

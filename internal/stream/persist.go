@@ -40,6 +40,11 @@ type persistedNode struct {
 type streamerSnapshot struct {
 	EncKeys []string
 	Nodes   map[string]persistedNode
+	// ModelFile names the serving model's file in the state dir at the
+	// time of the snapshot ("" = the boot model). Snapshots written
+	// before hot swap existed decode it as "" — the boot model, which
+	// is what those snapshots were taken against.
+	ModelFile string
 }
 
 // persister owns the streamer's crash-recovery machinery: the snapshot
@@ -142,6 +147,20 @@ func (s *Streamer) recover() error {
 		return fmt.Errorf("stream: state dir %q has no usable snapshot: %w", s.opts.StateDir, err)
 	}
 	if ok {
+		// A snapshot taken after a hot swap pairs with the swapped
+		// model, not the boot one: adopt it before restoring state, so
+		// trackers, detectors and the drift tap all come up on the
+		// model the snapshot was written against.
+		if snap.ModelFile != "" {
+			cand, err := p.loadModel(s, snap.ModelFile)
+			if err != nil {
+				return fmt.Errorf("stream: snapshot names model %q: %w", snap.ModelFile, err)
+			}
+			if err := s.validateSwap(cand); err != nil {
+				return err
+			}
+			s.adoptBoot(cand, snap.ModelFile)
+		}
 		if err := s.restoreSnapshot(snap); err != nil {
 			return err
 		}
@@ -191,17 +210,29 @@ func (s *Streamer) recover() error {
 	s.replaying = true
 	defer func() { s.replaying = false }()
 	_, err = persist.ReplayWAL(fsys, s.opts.StateDir, boundary, func(seq uint64, payload []byte) error {
-		if seq >= stats.NextSeq || len(payload) == 0 || payload[0] != persist.RecEvent {
+		if seq >= stats.NextSeq || len(payload) == 0 {
 			return nil
 		}
-		rec, err := persist.DecodeEvent(payload[1:])
-		if err != nil {
-			return err
+		switch payload[0] {
+		case persist.RecEvent:
+			rec, err := persist.DecodeEvent(payload[1:])
+			if err != nil {
+				return err
+			}
+			if p.quarantined[persist.QuarantineRecord{TimeNano: rec.TimeNano, Node: rec.Node, Key: rec.Key}.LedgerKey()] {
+				return nil
+			}
+			s.replayEvent(rec)
+		case persist.RecSwap:
+			// Re-apply the hot swap at its exact WAL position: earlier
+			// events already replayed on the previous model, later ones
+			// replay on this one — identical to the live barrier order.
+			rec, err := persist.DecodeSwap(payload[1:])
+			if err != nil {
+				return err
+			}
+			return s.replaySwap(rec.ModelFile)
 		}
-		if p.quarantined[persist.QuarantineRecord{TimeNano: rec.TimeNano, Node: rec.Node, Key: rec.Key}.LedgerKey()] {
-			return nil
-		}
-		s.replayEvent(rec)
 		return nil
 	})
 	if err != nil {
@@ -287,6 +318,11 @@ func (s *Streamer) replayEvent(rec persist.EventRecord) {
 	s.met.Ingested.Add(1)
 	s.met.ReplayedEvents.Add(1)
 	enc := logparse.EncodedEvent{Event: ev, ID: s.encodeKey(ev.Key)}
+	// Replay re-arms the drift tap exactly as live ingest did, so the
+	// unseen-phrase signal survives a restart.
+	if int64(enc.ID) >= s.vocabN.Load() {
+		s.met.UnseenPhrases.Add(1)
+	}
 	s.shards[s.shardOf(ev.Node)].processReplay(enc)
 }
 
@@ -357,6 +393,9 @@ func (s *Streamer) snapshotNow() error {
 	s.encMu.RLock()
 	keys := s.enc.Keys()
 	s.encMu.RUnlock()
+	// Captured under s.mu: a swap commits its RecSwap record under the
+	// same lock, so the boundary and the model name always agree.
+	modelFile := s.activeFile
 	replies := make(chan map[string]persistedNode, len(s.shards))
 	for _, sh := range s.shards {
 		sh.ch <- shardMsg{snap: replies}
@@ -378,7 +417,7 @@ func (s *Streamer) snapshotNow() error {
 			return nil
 		}
 	}
-	if err := s.pst.store.Save(boundary, streamerSnapshot{EncKeys: keys, Nodes: nodes}); err != nil {
+	if err := s.pst.store.Save(boundary, streamerSnapshot{EncKeys: keys, Nodes: nodes, ModelFile: modelFile}); err != nil {
 		return err
 	}
 	_ = s.pst.wal.RemoveSegmentsBelow(boundary)
@@ -397,7 +436,7 @@ func (p *persister) finalSnapshot(s *Streamer) error {
 			nodes[node] = pn
 		}
 	}
-	if err := p.store.Save(boundary, streamerSnapshot{EncKeys: s.enc.Keys(), Nodes: nodes}); err != nil {
+	if err := p.store.Save(boundary, streamerSnapshot{EncKeys: s.enc.Keys(), Nodes: nodes, ModelFile: s.activeFile}); err != nil {
 		p.wal.Close()
 		return err
 	}

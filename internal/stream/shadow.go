@@ -1,0 +1,212 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"desh/internal/chain"
+	"desh/internal/core"
+)
+
+// Shadow evaluation: a candidate model scores the same closed chains
+// the active model just scored, off the shard hot path, so the
+// continuous-learning loop can compare alert agreement and lead-time
+// deltas on live traffic before deciding a swap. Shards offer verdicts
+// with a nonblocking send — a slow shadow sheds work (counted), never
+// stalls serving.
+
+// ShadowReport summarizes one shadow-evaluation window.
+type ShadowReport struct {
+	// Scored is how many closed chains the candidate scored.
+	Scored int64
+	// BothFlagged / ActiveOnly / CandidateOnly / Neither partition the
+	// scored chains by which model flagged them.
+	BothFlagged   int64
+	ActiveOnly    int64
+	CandidateOnly int64
+	Neither       int64
+	// Dropped counts chains shed because the shadow queue was full.
+	Dropped int64
+	// LeadAbsDeltaSeconds is the mean |lead-time difference| over
+	// chains both models flagged (0 when none were).
+	LeadAbsDeltaSeconds float64
+}
+
+// shadowItem pairs a closed chain with the active model's verdict on
+// it.
+type shadowItem struct {
+	c chain.Chain
+	v core.Verdict
+}
+
+// ShadowEval is one running shadow evaluation. It owns a read-only
+// second Detector fed from a bounded queue by the shards; when the
+// window fills (or the streamer shuts down, or Stop is called) it
+// detaches and Done is closed.
+type ShadowEval struct {
+	s      *Streamer
+	det    *core.Detector
+	in     chan shadowItem
+	target int64
+
+	quitOnce sync.Once
+	quit     chan struct{}
+	doneOnce sync.Once
+	done     chan struct{}
+
+	mu           sync.Mutex
+	rep          ShadowReport
+	leadDeltaSum float64
+}
+
+// StartShadow arms a shadow evaluation of cand over the next window
+// closed-chain verdicts. cand must pass the same compatibility bar as
+// a swap. Only one evaluation may run at a time.
+func (s *Streamer) StartShadow(cand *core.Pipeline, window int) (*ShadowEval, error) {
+	if window < 1 {
+		return nil, fmt.Errorf("stream: shadow window must be >= 1, got %d", window)
+	}
+	if err := s.validateSwap(cand); err != nil {
+		return nil, err
+	}
+	// The RLock pins "not closed" across the bgWG.Add: Close's write
+	// lock section runs before its bgWG.Wait, so the waiter always sees
+	// this add.
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	e := &ShadowEval{
+		s:      s,
+		det:    cand.NewDetector(),
+		in:     make(chan shadowItem, 256),
+		target: int64(window),
+		quit:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	if !s.shadow.CompareAndSwap(nil, e) {
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("stream: a shadow evaluation is already running")
+	}
+	s.bgWG.Add(1)
+	s.mu.RUnlock()
+	go e.loop()
+	return e, nil
+}
+
+// Done is closed when the evaluation has detached: window complete,
+// Stop called, or streamer shutdown.
+func (e *ShadowEval) Done() <-chan struct{} { return e.done }
+
+// Stop ends the evaluation early (idempotent) and returns the report
+// accumulated so far.
+func (e *ShadowEval) Stop() ShadowReport {
+	e.quitOnce.Do(func() { close(e.quit) })
+	<-e.done
+	return e.Report()
+}
+
+// Report returns a copy of the current window statistics.
+func (e *ShadowEval) Report() ShadowReport {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rep := e.rep
+	if rep.BothFlagged > 0 {
+		rep.LeadAbsDeltaSeconds = e.leadDeltaSum / float64(rep.BothFlagged)
+	}
+	return rep
+}
+
+// offer hands one closed-chain verdict to the evaluation without ever
+// blocking the calling shard. The input channel is never closed —
+// shards holding a stale pointer may still offer after detach; those
+// sends land in the buffer of an abandoned channel and are garbage
+// collected with it.
+func (e *ShadowEval) offer(c chain.Chain, v core.Verdict) {
+	select {
+	case e.in <- shadowItem{c: c, v: v}:
+	default:
+		e.mu.Lock()
+		e.rep.Dropped++
+		e.mu.Unlock()
+		e.s.met.ShadowDropped.Add(1)
+	}
+}
+
+// loop owns the candidate detector: it scores offered chains until the
+// window fills, Stop is called, or the streamer shuts down, then
+// detaches.
+func (e *ShadowEval) loop() {
+	defer e.s.bgWG.Done()
+	defer e.finish()
+	for {
+		select {
+		case it := <-e.in:
+			if e.score(it) >= e.target {
+				return
+			}
+		case <-e.quit:
+			return
+		case <-e.s.done:
+			return
+		}
+	}
+}
+
+// score runs the candidate on one chain and folds the agreement
+// statistics; it returns the scored count so far.
+func (e *ShadowEval) score(it shadowItem) int64 {
+	cv := e.det.Detect(it.c)
+	e.mu.Lock()
+	e.rep.Scored++
+	switch {
+	case it.v.Flagged && cv.Flagged:
+		e.rep.BothFlagged++
+		e.leadDeltaSum += math.Abs(cv.LeadSeconds - it.v.LeadSeconds)
+	case it.v.Flagged:
+		e.rep.ActiveOnly++
+	case cv.Flagged:
+		e.rep.CandidateOnly++
+	default:
+		e.rep.Neither++
+	}
+	n := e.rep.Scored
+	e.mu.Unlock()
+	e.s.met.ShadowScored.Add(1)
+	return n
+}
+
+// finish detaches the evaluation from the streamer and signals Done.
+func (e *ShadowEval) finish() {
+	e.s.shadow.CompareAndSwap(e, nil)
+	e.doneOnce.Do(func() { close(e.done) })
+}
+
+// tapVerdict feeds one closed-chain verdict to the drift accumulators
+// and, when a shadow evaluation is armed, offers the chain to it. Runs
+// on the shard goroutine; everything here is counter math plus one
+// nonblocking send.
+func (sh *shard) tapVerdict(v core.Verdict) {
+	s := sh.s
+	s.met.Verdicts.Add(1)
+	if !math.IsInf(v.MinMSE, 1) {
+		mse := v.MinMSE
+		if mse > 1e6 {
+			mse = 1e6
+		}
+		s.met.VerdictMSEMicros.Add(int64(mse * 1e6))
+	}
+	if v.Flagged {
+		d := math.Abs(v.PredLeadSeconds - v.LeadSeconds)
+		if d > 1e6 {
+			d = 1e6
+		}
+		s.met.LeadErrCount.Add(1)
+		s.met.LeadErrMillis.Add(int64(d * 1e3))
+	}
+	if e := s.shadow.Load(); e != nil {
+		e.offer(v.Chain, v)
+	}
+}

@@ -195,6 +195,10 @@ type Options struct {
 	// the deterministic panic-injection seam used by the supervisor
 	// tests.
 	panicHook func(shardID int, ev logparse.EncodedEvent)
+	// swapHook, when set, runs at the two durability stages inside
+	// SwapModel; returning true aborts the swap there — the
+	// crash-during-swap tests' kill-point seam.
+	swapHook func(stage SwapStage) bool
 }
 
 // Option mutates Options.
@@ -306,6 +310,11 @@ func withPanicHook(fn func(int, logparse.EncodedEvent)) Option {
 	return func(o *Options) { o.panicHook = fn }
 }
 
+// withSwapHook installs the SwapModel kill-point seam (test-only).
+func withSwapHook(fn func(SwapStage) bool) Option {
+	return func(o *Options) { o.swapHook = fn }
+}
+
 func defaultOptions() Options {
 	return Options{
 		Shards:          runtime.GOMAXPROCS(0),
@@ -364,6 +373,18 @@ type Streamer struct {
 	// crashed is the test seam simulating SIGKILL: shards stop
 	// mid-queue without draining or flushing.
 	crashed atomic.Bool
+
+	// Continuous-learning state. vocabN is the active model's frozen
+	// training vocabulary: phrase ids at or beyond it are unseen by the
+	// model (the drift tap reads it lock-free on every ingest). shadow,
+	// when armed, receives closed-chain verdicts off the hot path.
+	// activeFile names the serving model's file inside the state dir
+	// ("" = the boot model; guarded by mu), and swapMu serializes
+	// SwapModel calls.
+	vocabN     atomic.Int64
+	shadow     atomic.Pointer[ShadowEval]
+	activeFile string
+	swapMu     sync.Mutex
 
 	mu     sync.RWMutex // guards closed against in-flight ingests
 	closed bool
@@ -426,6 +447,7 @@ func New(p *core.Pipeline, options ...Option) (*Streamer, error) {
 		alerts: make(chan Alert, opts.AlertBuffer),
 		done:   make(chan struct{}),
 	}
+	s.vocabN.Store(int64(modelVocab(p)))
 	if opts.AllowedLateness > 0 || opts.DedupWindow > 0 {
 		s.et = &eventTime{
 			lateness: opts.AllowedLateness,
@@ -523,6 +545,17 @@ func (s *Streamer) SnapshotMetrics() MetricsSnapshot {
 		ReplayedEvents:   s.met.ReplayedEvents.Load(),
 		ReplaySuppressed: s.met.ReplaySuppressed.Load(),
 		ConnRejected:     s.met.ConnRejected.Load(),
+		UnseenPhrases:    s.met.UnseenPhrases.Load(),
+		Verdicts:         s.met.Verdicts.Load(),
+		DriftScore:       float64(s.met.DriftScoreMilli.Load()) / 1000,
+		Retrains:         s.met.Retrains.Load(),
+		RetrainFailures:  s.met.RetrainFailures.Load(),
+		ShadowScored:     s.met.ShadowScored.Load(),
+		ShadowDropped:    s.met.ShadowDropped.Load(),
+		ShadowAccepted:   s.met.ShadowAccepted.Load(),
+		ShadowRejected:   s.met.ShadowRejected.Load(),
+		Swaps:            s.met.Swaps.Load(),
+		SwapErrors:       s.met.SwapErrors.Load(),
 		Late:             s.met.Late.Load(),
 		LateDropped:      s.met.LateDropped.Load(),
 		LateClamped:      s.met.LateClamped.Load(),
@@ -538,6 +571,12 @@ func (s *Streamer) SnapshotMetrics() MetricsSnapshot {
 	}
 	if snap.BatchWakeups > 0 {
 		snap.BatchOccupancy = float64(s.met.BatchEvents.Load()) / float64(snap.BatchWakeups)
+	}
+	if snap.Verdicts > 0 {
+		snap.VerdictMSEMean = float64(s.met.VerdictMSEMicros.Load()) / 1e6 / float64(snap.Verdicts)
+	}
+	if n := s.met.LeadErrCount.Load(); n > 0 {
+		snap.LeadErrMeanSeconds = float64(s.met.LeadErrMillis.Load()) / 1e3 / float64(n)
 	}
 	snap.QueueDepths = make([]int, len(s.shards))
 	snap.Watermarks = make([]int64, len(s.shards))
@@ -614,6 +653,11 @@ func (s *Streamer) IngestEvent(ev logparse.Event) error {
 		s.pst.appendEvent(s, ev)
 	}
 	enc := logparse.EncodedEvent{Event: ev, ID: s.encodeKey(ev.Key)}
+	// Drift tap: a phrase id at or beyond the active model's training
+	// vocabulary is a phrase the model has never seen.
+	if int64(enc.ID) >= s.vocabN.Load() {
+		s.met.UnseenPhrases.Add(1)
+	}
 	// The enqueue stamp anchors the detect-latency histogram: observed at
 	// verdict time, it measures queue wait + processing + any batched
 	// scoring the event waited on — the latency a subscriber experiences.
@@ -683,7 +727,9 @@ func (s *Streamer) skewDiag(ev logparse.Event, tol time.Duration) {
 
 // encodeKey assigns or looks up the phrase id for key. The encoder is
 // shared with the pipeline, so assignment takes a write lock; the hot
-// path (known phrase) is a read lock.
+// path (known phrase) is a read lock. A freshly assigned key is also
+// registered as a catalog runtime extension, so the labeler and the
+// continuous-learning loop see the live vocabulary.
 func (s *Streamer) encodeKey(key string) int {
 	s.encMu.RLock()
 	id, ok := s.enc.Lookup(key)
@@ -692,9 +738,24 @@ func (s *Streamer) encodeKey(key string) int {
 		return id
 	}
 	s.encMu.Lock()
+	n := s.enc.Len()
 	id = s.enc.Encode(key)
+	fresh := id >= n
 	s.encMu.Unlock()
+	if fresh {
+		catalog.Extend(key, catalog.Unknown)
+	}
 	return id
+}
+
+// modelVocab is the vocabulary size a pipeline's detectors score
+// against: the training-time freeze, or the encoder length for models
+// whose saved form predates the freeze field.
+func modelVocab(p *core.Pipeline) int {
+	if n := p.TrainVocab(); n > 0 {
+		return n
+	}
+	return p.Encoder().Len()
 }
 
 func (s *Streamer) shardOf(node string) int {
@@ -748,6 +809,11 @@ type shardMsg struct {
 	// histogram once the event's verdicts are out.
 	at   time.Time
 	snap chan<- map[string]persistedNode
+	// swap is a model-swap barrier: the shard rebuilds its detector
+	// from the new pipeline at this exact queue position, so every
+	// event ahead of the barrier scores on the old model and every one
+	// behind it on the new — the same FIFO argument snapshots use.
+	swap *swapBarrier
 }
 
 // shard owns a partition of the node space: its goroutine is the only
@@ -867,9 +933,14 @@ func (sh *shard) dispatch(m shardMsg) {
 		m.snap <- sh.capture()
 		return
 	}
+	if m.swap != nil {
+		sh.applySwap(m.swap)
+		return
+	}
 	sh.buf = append(sh.buf[:0], m)
 	sh.bufNext = 0
 	var barrier chan<- map[string]persistedNode
+	var swap *swapBarrier
 drain:
 	for len(sh.buf) < sh.s.opts.MicroBatch {
 		select {
@@ -890,6 +961,12 @@ drain:
 				barrier = m2.snap
 				break drain
 			}
+			if m2.swap != nil {
+				// Same FIFO discipline as the snapshot barrier: the
+				// drained events scored on the old detector first.
+				swap = m2.swap
+				break drain
+			}
 			sh.buf = append(sh.buf, m2)
 		default:
 			break drain
@@ -898,6 +975,9 @@ drain:
 	sh.processBatch()
 	if barrier != nil {
 		barrier <- sh.capture()
+	}
+	if swap != nil {
+		sh.applySwap(swap)
 	}
 }
 
@@ -1134,7 +1214,9 @@ func (sh *shard) feed(ns *nodeState, ev logparse.EncodedEvent) {
 // for singleton batches and the idle-flush / drain paths.
 func (sh *shard) judge(ns *nodeState, c chain.Chain) {
 	sh.s.met.ChainsClosed.Add(1)
-	sh.emitVerdict(ns, sh.det.Detect(c))
+	v := sh.det.Detect(c)
+	sh.tapVerdict(v)
+	sh.emitVerdict(ns, v)
 }
 
 // emitVerdict converts a flagged closed-chain verdict into an alert.
@@ -1178,6 +1260,7 @@ func (sh *shard) flushPending() {
 	vs := sh.verd[:n]
 	sh.det.DetectBatch(sh.chbuf, vs)
 	for i, pc := range sh.pend {
+		sh.tapVerdict(vs[i])
 		sh.emitVerdict(pc.ns, vs[i])
 	}
 	sh.pend = sh.pend[:0]

@@ -3,7 +3,7 @@
 # BenchmarkStreamThroughput (pre-parsed events through IngestEvent at
 # micro-batch widths 1, 8, 32) and fails if the B=1 per-event rate —
 # the path every idle shard still takes — regressed more than 10%
-# against the checked-in baseline in BENCH_PR6.json.
+# against the checked-in baseline in BENCH_PR7.json.
 #
 # Raw events/sec is machine-dependent, so the floor is overridable:
 #   DESH_BENCH_MIN_EVENTS=250000 scripts/bench_gate.sh   # explicit floor
@@ -12,7 +12,7 @@
 set -eu
 
 GO=${GO:-go}
-BASE_JSON=${BASE_JSON:-BENCH_PR6.json}
+BASE_JSON=${BASE_JSON:-BENCH_PR7.json}
 
 if [ -n "${DESH_BENCH_MIN_EVENTS:-}" ]; then
     floor=$DESH_BENCH_MIN_EVENTS
