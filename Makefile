@@ -15,10 +15,12 @@ vet:
 # worker pool (mini-batch BPTT shards, Phase-3 inference, the Figure-8
 # sweep via experiments' core usage, mini-batch skip-gram training),
 # the pool itself, the sharded streaming engine behind deshd, its
-# crash-recovery substrate, and the continuous-learning loop that
-# retrains and hot-swaps models behind live traffic.
+# crash-recovery substrate, the continuous-learning loop that retrains
+# and hot-swaps models behind live traffic, and the cluster tier
+# (router + instances + retry) that coordinates shard handoff across
+# processes.
 race:
-	GOMAXPROCS=4 $(GO) test -race ./internal/core/... ./internal/embed/... ./internal/nn/... ./internal/par/... ./internal/stream/... ./internal/chain/... ./internal/persist/... ./internal/adapt/...
+	GOMAXPROCS=4 $(GO) test -race ./internal/core/... ./internal/embed/... ./internal/nn/... ./internal/par/... ./internal/stream/... ./internal/chain/... ./internal/persist/... ./internal/adapt/... ./internal/cluster/... ./internal/retry/...
 
 # verify is the tier-1 gate: build + full tests, plus vet and the race
 # detector over the concurrent packages.

@@ -45,6 +45,8 @@ import (
 
 	"desh"
 	"desh/internal/buildinfo"
+	"desh/internal/cluster"
+	"desh/internal/retry"
 )
 
 func main() {
@@ -58,6 +60,8 @@ func run() error {
 	model := flag.String("model", "desh.model", "trained model file (from deshtrain)")
 	in := flag.String("in", "-", `log input: "-" for stdin, a file path, or "" to disable`)
 	listen := flag.String("listen", "", "line-oriented TCP ingest address (e.g. :4224); empty disables")
+	tcpDial := flag.String("tcp", "", "dial a line-oriented TCP log source (host:port) and ingest from it, reconnecting with backoff; empty disables")
+	clusterName := flag.String("cluster-name", "", "join a deshrouter cluster as this member name (requires -http; adds /cluster/* control plane)")
 	httpAddr := flag.String("http", "", "HTTP address for /metrics, /ingest, /healthz, /debug/vars; empty disables")
 	shards := flag.Int("shards", 0, "per-node state shards (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 1024, "per-shard ingest queue depth")
@@ -141,9 +145,21 @@ func run() error {
 	opts = append(opts, desh.WithStreamDiag(func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "deshd: "+format+"\n", args...)
 	}))
+	if *clusterName != "" && *httpAddr == "" {
+		return fmt.Errorf("-cluster-name requires -http: the router drives this instance over its control plane")
+	}
 	s, err := desh.NewStreamer(p, opts...)
 	if err != nil {
 		return err
+	}
+	var inst *cluster.Instance
+	if *clusterName != "" {
+		inst = cluster.NewInstance(*clusterName, s, func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "deshd: "+format+"\n", args...)
+		})
+		if epoch, ranges := inst.Ownership(); epoch > 0 {
+			fmt.Fprintf(os.Stderr, "deshd: recovered cluster ownership: epoch %d, %d range(s)\n", epoch, len(ranges))
+		}
 	}
 	if replayed := s.SnapshotMetrics().ReplayedEvents; replayed > 0 {
 		fmt.Fprintf(os.Stderr, "deshd: recovered %d events from the WAL tail\n", replayed)
@@ -205,16 +221,61 @@ func run() error {
 		}()
 	}
 
+	// Dial-out ingest: connect to a remote line source and reconnect
+	// with capped exponential backoff — a source that is down at boot
+	// (ECONNREFUSED) or drops mid-stream is retried, never fatal.
+	dialStop := make(chan struct{})
+	if *tcpDial != "" {
+		go func() {
+			pol := retry.Policy{Base: 100 * time.Millisecond, Max: 5 * time.Second}
+			attempt := 0
+			for {
+				conn, err := net.Dial("tcp", *tcpDial)
+				if err != nil {
+					attempt++
+					fmt.Fprintf(os.Stderr, "deshd: tcp dial %s: %v (attempt %d, retrying)\n", *tcpDial, err, attempt)
+					if !pol.Wait(dialStop, attempt) {
+						return
+					}
+					continue
+				}
+				attempt = 0
+				fmt.Fprintf(os.Stderr, "deshd: tcp ingest from %s\n", conn.RemoteAddr())
+				ierr := s.IngestReader(conn)
+				conn.Close()
+				if errors.Is(ierr, desh.ErrStreamClosed) {
+					return
+				}
+				select {
+				case <-dialStop:
+					return
+				default:
+				}
+				fmt.Fprintf(os.Stderr, "deshd: tcp source %s dropped, reconnecting\n", *tcpDial)
+				if !pol.Wait(dialStop, attempt) {
+					return
+				}
+			}
+		}()
+	}
+
 	var srv *http.Server
 	if *httpAddr != "" {
 		start := time.Now()
 		expvar.Publish("deshd", expvar.Func(func() any { return s.SnapshotMetrics() }))
 		mux := http.NewServeMux()
-		mux.Handle("/metrics", s.MetricsHandler())
-		mux.Handle("/ingest", s.IngestHandler())
-		mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-			fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_s\":%.0f}\n", time.Since(start).Seconds())
-		})
+		if inst != nil {
+			// Cluster mode: the instance handler serves /ingest (ownership
+			// gated), /metrics (with cluster epoch and owned ranges), and
+			// the /cluster/* control plane the router drives.
+			mux.Handle("/", inst.Handler())
+		} else {
+			mux.Handle("/metrics", s.MetricsHandler())
+			mux.Handle("/ingest", s.IngestHandler())
+			mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+				fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_s\":%.0f}\n", time.Since(start).Seconds())
+			})
+		}
 		mux.Handle("/debug/vars", expvar.Handler())
 		hln, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
@@ -267,6 +328,7 @@ func run() error {
 		break
 	}
 
+	close(dialStop)
 	if ln != nil {
 		ln.Close()
 	}

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"desh/internal/persist"
+)
+
+// fleetTotals is the cross-instance rollup on the router's /metrics:
+// the load-bearing counters summed over every reachable peer.
+type fleetTotals struct {
+	Peers             int   `json:"peers"`
+	PeersHealthy      int   `json:"peers_healthy"`
+	Ingested          int64 `json:"ingested"`
+	Processed         int64 `json:"processed"`
+	ChainsOpen        int64 `json:"chains_open"`
+	ChainsClosed      int64 `json:"chains_closed"`
+	AlertsFired       int64 `json:"alerts_fired"`
+	Quarantined       int64 `json:"quarantined"`
+	HandoffsStarted   int64 `json:"handoffs_started"`
+	HandoffsCompleted int64 `json:"handoffs_completed"`
+	HandoffsAborted   int64 `json:"handoffs_aborted"`
+	HandoffImports    int64 `json:"handoff_imports"`
+	OwnedRanges       int   `json:"owned_ranges"`
+}
+
+// clusterMetrics is the router's /metrics body: its own counters, the
+// fleet rollup, and each peer's full instance snapshot (or the fetch
+// error, so one dead peer doesn't blank the whole view).
+type clusterMetrics struct {
+	Router RouterMetricsSnapshot `json:"router"`
+	Fleet  fleetTotals           `json:"fleet"`
+	Peers  map[string]any        `json:"peers"`
+}
+
+// peerStatus is one row of /cluster/status.
+type peerStatus struct {
+	Name    string              `json:"name"`
+	URL     string              `json:"url"`
+	Healthy bool                `json:"healthy"`
+	InRing  bool                `json:"in_ring"`
+	Ranges  []persist.HashRange `json:"ranges"`
+}
+
+// Handler returns the router's HTTP surface: POST /ingest (raw lines,
+// routed to owners), GET /metrics (aggregated fleet view), GET
+// /cluster/status (ring membership and health), GET /healthz.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", r.handleIngest)
+	mux.HandleFunc("/metrics", r.handleMetrics)
+	mux.HandleFunc("/cluster/status", r.handleStatus)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	return mux
+}
+
+func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	sc := bufio.NewScanner(req.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	accepted, malformed := 0, 0
+	for sc.Scan() {
+		if err := r.IngestLine(sc.Text()); err != nil {
+			malformed++
+			continue
+		}
+		accepted++
+	}
+	if err := sc.Err(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, map[string]int{"accepted": accepted, "malformed": malformed})
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	out := clusterMetrics{Router: r.Metrics(), Peers: make(map[string]any)}
+	r.mu.RLock()
+	peers := make([]*peerState, 0, len(r.peers))
+	for _, ps := range r.peers {
+		peers = append(peers, ps)
+	}
+	r.mu.RUnlock()
+	out.Fleet.Peers = len(peers)
+	// One slow peer must not serialize the whole scrape: fetch all peer
+	// snapshots concurrently, then fold.
+	type fetched struct {
+		name string
+		m    *instanceMetrics
+		err  error
+	}
+	results := make([]fetched, len(peers))
+	var wg sync.WaitGroup
+	for i, ps := range peers {
+		wg.Add(1)
+		go func(i int, ps *peerState) {
+			defer wg.Done()
+			var m instanceMetrics
+			err := getJSON(r.client, ps.URL+"/metrics", &m)
+			if err != nil {
+				results[i] = fetched{name: ps.Name, err: err}
+				return
+			}
+			results[i] = fetched{name: ps.Name, m: &m}
+		}(i, ps)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if res.err != nil {
+			out.Peers[res.name] = map[string]string{"error": res.err.Error()}
+			continue
+		}
+		if peers[i].healthy.Load() {
+			out.Fleet.PeersHealthy++
+		}
+		m := res.m
+		out.Peers[res.name] = m
+		out.Fleet.Ingested += m.Ingested
+		out.Fleet.Processed += m.Processed
+		out.Fleet.ChainsOpen += m.ChainsOpen
+		out.Fleet.ChainsClosed += m.ChainsClosed
+		out.Fleet.AlertsFired += m.AlertsFired
+		out.Fleet.Quarantined += m.Quarantined
+		out.Fleet.HandoffsStarted += m.HandoffsStarted
+		out.Fleet.HandoffsCompleted += m.HandoffsCompleted
+		out.Fleet.HandoffsAborted += m.HandoffsAborted
+		out.Fleet.HandoffImports += m.HandoffImports
+		out.Fleet.OwnedRanges += m.OwnedRanges
+	}
+	writeJSON(w, out)
+}
+
+func (r *Router) handleStatus(w http.ResponseWriter, req *http.Request) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rows := make([]peerStatus, 0, len(r.peers))
+	for _, ps := range r.peers {
+		rows = append(rows, peerStatus{
+			Name:    ps.Name,
+			URL:     ps.URL,
+			Healthy: ps.healthy.Load(),
+			InRing:  ps.inRing,
+			Ranges:  r.ring.Ranges(ps.Name),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	writeJSON(w, struct {
+		Epoch uint64       `json:"epoch"`
+		Peers []peerStatus `json:"peers"`
+	}{Epoch: r.epoch, Peers: rows})
+}
+
+// getJSON fetches url and decodes the JSON body into reply.
+func getJSON(client *http.Client, url string, reply any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(reply)
+}

@@ -1,0 +1,462 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"desh/internal/logparse"
+	"desh/internal/persist"
+	"desh/internal/stream"
+)
+
+// parseLine parses one raw line; blank lines return a zero Event (no
+// error) so callers can skip them the way single-instance ingest does.
+func parseLine(line string) (logparse.Event, error) {
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case ' ', '\t', '\r', '\n':
+		default:
+			return logparse.ParseLine(line)
+		}
+	}
+	return logparse.Event{}, nil
+}
+
+// Instance is one deshd process's membership in a cluster: it wraps
+// the process's Streamer with epoch-gated ownership (events outside
+// the owned ranges are rejected back to the router, never silently
+// absorbed) and serves the control plane the router drives —
+// ownership pushes, live handoffs, and dead-peer takeovers.
+type Instance struct {
+	name   string
+	s      *stream.Streamer
+	client *http.Client
+	diag   func(format string, args ...any)
+
+	mu     sync.RWMutex
+	epoch  uint64
+	ranges []persist.HashRange
+	// standalone is true until the first ownership adoption: a deshd
+	// without a router owns everything, so plain single-instance
+	// deployments run unchanged.
+	standalone bool
+}
+
+// NewInstance wraps s for cluster serving. Ownership recovered from
+// the WAL (a restart after a crash) is adopted immediately, so the
+// instance comes back rejecting exactly what it rejected before the
+// crash until the router pushes something newer.
+func NewInstance(name string, s *stream.Streamer, diag func(string, ...any)) *Instance {
+	inst := &Instance{
+		name:       name,
+		s:          s,
+		client:     &http.Client{Timeout: 30 * time.Second},
+		diag:       diag,
+		standalone: true,
+	}
+	if rec, ok := s.RecoveredOwnership(); ok {
+		inst.epoch = rec.Epoch
+		inst.ranges = rec.Ranges
+		inst.standalone = false
+	}
+	return inst
+}
+
+// Name returns the instance's cluster member name.
+func (inst *Instance) Name() string { return inst.name }
+
+// Streamer returns the wrapped streamer.
+func (inst *Instance) Streamer() *stream.Streamer { return inst.s }
+
+func (inst *Instance) diagf(format string, args ...any) {
+	if inst.diag != nil {
+		inst.diag(format, args...)
+	}
+}
+
+// Ownership returns the current epoch and owned ranges.
+func (inst *Instance) Ownership() (uint64, []persist.HashRange) {
+	inst.mu.RLock()
+	defer inst.mu.RUnlock()
+	return inst.epoch, append([]persist.HashRange(nil), inst.ranges...)
+}
+
+// owns reports whether the instance currently serves the node.
+func (inst *Instance) owns(node string) bool {
+	inst.mu.RLock()
+	defer inst.mu.RUnlock()
+	if inst.standalone {
+		return true
+	}
+	return persist.RangesContain(inst.ranges, persist.NodeHash(node))
+}
+
+// AdoptOwnership journals and installs a router-pushed ownership set.
+// A stale epoch (older than the current one) is rejected — the caller
+// is behind a newer coordinator decision.
+func (inst *Instance) AdoptOwnership(epoch uint64, ranges []persist.HashRange) error {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	if !inst.standalone && epoch < inst.epoch {
+		return fmt.Errorf("cluster: stale epoch %d < %d", epoch, inst.epoch)
+	}
+	if err := inst.s.JournalEpoch(epoch, ranges); err != nil {
+		return err
+	}
+	inst.epoch = epoch
+	inst.ranges = append([]persist.HashRange(nil), ranges...)
+	inst.standalone = false
+	return nil
+}
+
+// IngestLines feeds a batch of raw lines, returning the indices of
+// lines the instance must NOT absorb — nodes outside its owned ranges
+// or frozen mid-handoff — for the router to respool. Blank and
+// malformed lines are consumed (counted) exactly as single-instance
+// ingest consumes them.
+func (inst *Instance) IngestLines(lines []string) (rejected []int, err error) {
+	for i, line := range lines {
+		ev, perr := parseLine(line)
+		if perr != nil {
+			inst.s.Metrics().Malformed.Add(1)
+			continue
+		}
+		if ev.Node == "" { // blank line
+			continue
+		}
+		if !inst.owns(ev.Node) {
+			rejected = append(rejected, i)
+			continue
+		}
+		switch ierr := inst.s.IngestEvent(ev); {
+		case ierr == nil:
+		case errors.Is(ierr, stream.ErrFrozen):
+			rejected = append(rejected, i)
+		case errors.Is(ierr, stream.ErrClosed):
+			// Everything from here on is undeliverable; the router's
+			// failure handling respools the whole batch.
+			return nil, ierr
+		default:
+			return nil, ierr
+		}
+	}
+	return rejected, nil
+}
+
+// handoffRequest drives one live outbound handoff (source side).
+type handoffRequest struct {
+	Epoch  uint64              `json:"epoch"`
+	Target string              `json:"target"` // base URL of the receiving instance
+	Ranges []persist.HashRange `json:"ranges"`
+}
+
+// importRequest carries a handoff payload to the receiving instance.
+type importRequest struct {
+	Epoch  uint64              `json:"epoch"`
+	Source string              `json:"source"`
+	Ranges []persist.HashRange `json:"ranges"`
+	State  string              `json:"state"` // base64 of the framed HandoffState
+}
+
+// takeoverRequest asks a survivor to absorb ranges from a dead
+// instance's state directory (shared-filesystem deployments).
+type takeoverRequest struct {
+	Epoch  uint64              `json:"epoch"`
+	Dir    string              `json:"dir"`
+	Ranges []persist.HashRange `json:"ranges"`
+}
+
+// statusReply is the /cluster/status body.
+type statusReply struct {
+	Name           string              `json:"name"`
+	Epoch          uint64              `json:"epoch"`
+	Ranges         []persist.HashRange `json:"ranges"`
+	PendingHandoff *handoffRequest     `json:"pending_handoff,omitempty"`
+}
+
+// instanceMetrics is the cluster view of /metrics: the streamer's
+// counters plus the ownership gauges the satellite spec names.
+type instanceMetrics struct {
+	stream.MetricsSnapshot
+	ClusterEpoch uint64 `json:"cluster_epoch"`
+	OwnedRanges  int    `json:"owned_ranges"`
+}
+
+// HandoffTo runs the full live-handoff protocol against a target
+// instance: Begin (freeze + capture) → ship to the target's
+// /cluster/import (its commit point) → Complete (journal Out, drop,
+// unfreeze). Any shipping failure aborts: the state never left, the
+// target never committed, and the ranges thaw in place.
+func (inst *Instance) HandoffTo(epoch uint64, targetURL string, ranges []persist.HashRange) error {
+	st, err := inst.s.BeginHandoff(epoch, targetURL, ranges)
+	if err != nil {
+		return err
+	}
+	payload, err := persist.EncodeSnapshot(st)
+	if err != nil {
+		_ = inst.s.AbortHandoff()
+		return fmt.Errorf("cluster: handoff encode: %w", err)
+	}
+	req := importRequest{
+		Epoch:  epoch,
+		Source: inst.name,
+		Ranges: ranges,
+		State:  base64.StdEncoding.EncodeToString(payload),
+	}
+	if err := postJSON(inst.client, targetURL+"/cluster/import", req, nil); err != nil {
+		// The target may or may not have journaled RecHandoffIn before
+		// the failure. Sending the same framed state twice is safe —
+		// installNode replaces and the import ledger re-suppresses — so
+		// an ambiguous failure aborts and a later retry re-ships; the
+		// dangerous double (two ACTIVE owners) is prevented by the
+		// ownership epoch, which only the router advances.
+		aerr := inst.s.AbortHandoff()
+		inst.diagf("cluster: handoff to %s aborted: %v", targetURL, err)
+		return errors.Join(fmt.Errorf("cluster: handoff ship: %w", err), aerr)
+	}
+	// The target holds the state durably: shrink ownership first so no
+	// thawed event lands here, then resolve the journal.
+	inst.mu.Lock()
+	inst.epoch = epoch
+	inst.ranges = subtractRanges(inst.ranges, ranges)
+	inst.mu.Unlock()
+	if err := inst.s.CompleteHandoff(); err != nil {
+		return err
+	}
+	inst.diagf("cluster: handed off %d range(s) to %s at epoch %d", len(ranges), targetURL, epoch)
+	return nil
+}
+
+// subtractRanges removes the cut arcs from base.
+func subtractRanges(base, cut []persist.HashRange) []persist.HashRange {
+	la, lc := linearize(base), linearize(cut)
+	var out []persist.HashRange
+	for _, x := range la {
+		lo := x[0]
+		for _, c := range lc {
+			if c[1] <= lo || c[0] >= x[1] {
+				continue
+			}
+			if c[0] > lo {
+				out = append(out, delinearize(lo, c[0]))
+			}
+			if c[1] > lo {
+				lo = c[1]
+			}
+		}
+		if lo < x[1] {
+			out = append(out, delinearize(lo, x[1]))
+		}
+	}
+	return out
+}
+
+// Import commits a shipped handoff payload into the local streamer and
+// extends ownership over its ranges.
+func (inst *Instance) Import(req importRequest) error {
+	raw, err := base64.StdEncoding.DecodeString(req.State)
+	if err != nil {
+		return fmt.Errorf("cluster: import state: %w", err)
+	}
+	var st stream.HandoffState
+	if err := persist.DecodeSnapshot(raw, &st); err != nil {
+		return fmt.Errorf("cluster: import state: %w", err)
+	}
+	if err := inst.s.ImportState(req.Epoch, req.Source, req.Ranges, &st); err != nil {
+		return err
+	}
+	inst.mu.Lock()
+	if req.Epoch > inst.epoch {
+		inst.epoch = req.Epoch
+	}
+	inst.ranges = append(inst.ranges, req.Ranges...)
+	inst.standalone = false
+	inst.mu.Unlock()
+	inst.diagf("cluster: imported %d node(s), %d pending event(s) from %s", len(st.Nodes), len(st.Pending), req.Source)
+	return nil
+}
+
+// Takeover rebuilds the requested ranges from a dead peer's state
+// directory and imports them — the no-live-source path.
+func (inst *Instance) Takeover(req takeoverRequest) error {
+	st, err := stream.LoadHandoffFromDir(nil, req.Dir, req.Ranges)
+	if err != nil {
+		return err
+	}
+	if err := inst.s.ImportState(req.Epoch, "takeover:"+req.Dir, req.Ranges, st); err != nil {
+		return err
+	}
+	inst.mu.Lock()
+	if req.Epoch > inst.epoch {
+		inst.epoch = req.Epoch
+	}
+	inst.ranges = append(inst.ranges, req.Ranges...)
+	inst.standalone = false
+	inst.mu.Unlock()
+	inst.diagf("cluster: took over %d node(s), %d pending event(s) from %s", len(st.Nodes), len(st.Pending), req.Dir)
+	return nil
+}
+
+// Handler returns the instance's HTTP control plane. Mount it at the
+// mux root alongside the streamer's own handlers; every route is
+// namespaced under /cluster/ except the batch /ingest the router uses.
+func (inst *Instance) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", inst.handleIngest)
+	mux.HandleFunc("/cluster/status", inst.handleStatus)
+	mux.HandleFunc("/cluster/ownership", inst.handleOwnership)
+	mux.HandleFunc("/cluster/handoff", inst.handleHandoff)
+	mux.HandleFunc("/cluster/import", inst.handleImport)
+	mux.HandleFunc("/cluster/takeover", inst.handleTakeover)
+	mux.HandleFunc("/metrics", inst.handleMetrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	return mux
+}
+
+// ingestReply reports which lines of a batch the instance refused.
+type ingestReply struct {
+	Epoch    uint64 `json:"epoch"`
+	Accepted int    `json:"accepted"`
+	Rejected []int  `json:"rejected,omitempty"`
+}
+
+func (inst *Instance) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var lines []string
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rejected, err := inst.IngestLines(lines)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	epoch, _ := inst.Ownership()
+	writeJSON(w, ingestReply{Epoch: epoch, Accepted: len(lines) - len(rejected), Rejected: rejected})
+}
+
+func (inst *Instance) handleStatus(w http.ResponseWriter, r *http.Request) {
+	epoch, ranges := inst.Ownership()
+	reply := statusReply{Name: inst.name, Epoch: epoch, Ranges: ranges}
+	if hEpoch, target, hRanges, ok := inst.s.PendingHandoff(); ok {
+		reply.PendingHandoff = &handoffRequest{Epoch: hEpoch, Target: target, Ranges: hRanges}
+	}
+	writeJSON(w, reply)
+}
+
+func (inst *Instance) handleOwnership(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Epoch  uint64              `json:"epoch"`
+		Ranges []persist.HashRange `json:"ranges"`
+	}
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if err := inst.AdoptOwnership(req.Epoch, req.Ranges); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, map[string]any{"epoch": req.Epoch})
+}
+
+func (inst *Instance) handleHandoff(w http.ResponseWriter, r *http.Request) {
+	var req handoffRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if err := inst.HandoffTo(req.Epoch, req.Target, req.Ranges); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]any{"epoch": req.Epoch})
+}
+
+func (inst *Instance) handleImport(w http.ResponseWriter, r *http.Request) {
+	var req importRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if err := inst.Import(req); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]any{"epoch": req.Epoch})
+}
+
+func (inst *Instance) handleTakeover(w http.ResponseWriter, r *http.Request) {
+	var req takeoverRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if err := inst.Takeover(req); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]any{"epoch": req.Epoch})
+}
+
+func (inst *Instance) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	epoch, ranges := inst.Ownership()
+	writeJSON(w, instanceMetrics{
+		MetricsSnapshot: inst.s.SnapshotMetrics(),
+		ClusterEpoch:    epoch,
+		OwnedRanges:     len(ranges),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 256<<20)).Decode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func postJSON(client *http.Client, url string, req, reply any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, bytes.TrimSpace(msg))
+	}
+	if reply != nil {
+		return json.NewDecoder(resp.Body).Decode(reply)
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"desh/internal/persist"
+)
+
+// sampleHashes is a deterministic spread of probe points, including
+// the circle's edges.
+func sampleHashes() []uint32 {
+	hs := []uint32{0, 1, 0x7fffffff, 0xfffffffe, 0xffffffff}
+	for i := 0; i < 2000; i++ {
+		hs = append(hs, persist.NodeHash(fmt.Sprintf("probe-%d", i)))
+	}
+	return hs
+}
+
+func TestRingDeterministicBuilds(t *testing.T) {
+	a := NewRing([]string{"c", "a", "b"}, 64)
+	b := NewRing([]string{"b", "b", "a", "c"}, 64)
+	if len(a.points) != len(b.points) {
+		t.Fatalf("point counts differ: %d vs %d", len(a.points), len(b.points))
+	}
+	for i := range a.points {
+		if a.points[i] != b.points[i] {
+			t.Fatalf("point %d differs: %+v vs %+v", i, a.points[i], b.points[i])
+		}
+	}
+	for _, h := range sampleHashes() {
+		if a.Owner(h) != b.Owner(h) {
+			t.Fatalf("owner of %#x differs", h)
+		}
+	}
+}
+
+// TestRingOwnerMatchesRanges: for every probe hash, the member Owner
+// returns must be exactly the one whose Ranges contain the hash, and
+// the members' ranges must partition the circle.
+func TestRingOwnerMatchesRanges(t *testing.T) {
+	members := []string{"alpha", "beta", "gamma", "delta"}
+	r := NewRing(members, 64)
+	ranges := make(map[string][]persist.HashRange, len(members))
+	for _, m := range members {
+		ranges[m] = r.Ranges(m)
+	}
+	for _, h := range sampleHashes() {
+		owner := r.Owner(h)
+		holders := 0
+		for _, m := range members {
+			if persist.RangesContain(ranges[m], h) {
+				holders++
+				if m != owner {
+					t.Fatalf("hash %#x: Owner says %s, but %s's ranges contain it", h, owner, m)
+				}
+			}
+		}
+		if holders != 1 {
+			t.Fatalf("hash %#x held by %d members, want exactly 1", h, holders)
+		}
+	}
+}
+
+func TestRingSingleMemberOwnsEverything(t *testing.T) {
+	r := NewRing([]string{"solo"}, 8)
+	got := r.Ranges("solo")
+	if len(got) != 1 || got[0] != (persist.HashRange{Lo: 0, Hi: 0}) {
+		t.Fatalf("single member ranges %v, want full circle {0 0}", got)
+	}
+	for _, h := range sampleHashes() {
+		if r.Owner(h) != "solo" {
+			t.Fatalf("hash %#x not owned by the only member", h)
+		}
+	}
+	if NewRing(nil, 8).Owner(42) != "" {
+		t.Fatal("empty ring must own nothing")
+	}
+}
+
+// TestRingRemovalMovesOnlyDeadRanges is the consistent-hashing
+// contract: removing one member must not move any hash between two
+// surviving members.
+func TestRingRemovalMovesOnlyDeadRanges(t *testing.T) {
+	before := NewRing([]string{"a", "b", "c"}, 64)
+	after := NewRing([]string{"a", "b"}, 64)
+	moved := 0
+	for _, h := range sampleHashes() {
+		ob, oa := before.Owner(h), after.Owner(h)
+		if ob == "c" {
+			moved++
+			continue // dead member's hashes may land anywhere
+		}
+		if ob != oa {
+			t.Fatalf("hash %#x moved %s -> %s though %s survives", h, ob, oa, ob)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no probe hash was owned by the removed member; probe set too small")
+	}
+}
+
+// TestIntersectMembership: point-membership in Intersect(a, b) must
+// equal membership in both inputs, across wrap-around and full-circle
+// encodings.
+func TestIntersectMembership(t *testing.T) {
+	cases := [][2][]persist.HashRange{
+		{{{Lo: 100, Hi: 200}}, {{Lo: 150, Hi: 250}}},
+		{{{Lo: 0, Hi: 0}}, {{Lo: 150, Hi: 250}}},
+		{{{Lo: 0xfffffff0, Hi: 16}}, {{Lo: 8, Hi: 0xfffffff8}}},
+		{{{Lo: 0xfffffff0, Hi: 16}}, {{Lo: 0xfffffff8, Hi: 8}}},
+		{{{Lo: 100, Hi: 200}, {Lo: 300, Hi: 400}}, {{Lo: 150, Hi: 350}}},
+		{{{Lo: 100, Hi: 200}}, {{Lo: 200, Hi: 300}}},
+	}
+	probes := sampleHashes()
+	for _, lo := range []uint32{0, 7, 8, 15, 16, 99, 100, 150, 199, 200, 250, 299, 300, 350, 399, 400, 0xffffffef, 0xfffffff0, 0xfffffff7, 0xfffffff8, 0xffffffff} {
+		probes = append(probes, lo)
+	}
+	for ci, c := range cases {
+		got := Intersect(c[0], c[1])
+		for _, h := range probes {
+			want := persist.RangesContain(c[0], h) && persist.RangesContain(c[1], h)
+			if have := persist.RangesContain(got, h); have != want {
+				t.Fatalf("case %d hash %#x: intersect membership %v, want %v (got %v)", ci, h, have, want, got)
+			}
+		}
+	}
+}
+
+// TestSubtractMembership: membership in subtractRanges(base, cut) must
+// equal (in base) && !(in cut).
+func TestSubtractMembership(t *testing.T) {
+	cases := [][2][]persist.HashRange{
+		{{{Lo: 0, Hi: 0}}, {{Lo: 100, Hi: 200}}},
+		{{{Lo: 100, Hi: 200}}, {{Lo: 100, Hi: 200}}},
+		{{{Lo: 100, Hi: 300}}, {{Lo: 150, Hi: 250}}},
+		{{{Lo: 0xfffffff0, Hi: 16}}, {{Lo: 0, Hi: 8}}},
+		{{{Lo: 0, Hi: 0}}, {{Lo: 0xfffffff0, Hi: 16}}},
+		{{{Lo: 100, Hi: 200}, {Lo: 300, Hi: 400}}, {{Lo: 150, Hi: 350}}},
+	}
+	probes := sampleHashes()
+	for _, lo := range []uint32{0, 7, 8, 15, 16, 99, 100, 150, 199, 200, 249, 250, 300, 350, 399, 400, 0xffffffef, 0xfffffff0, 0xffffffff} {
+		probes = append(probes, lo)
+	}
+	for ci, c := range cases {
+		got := subtractRanges(c[0], c[1])
+		for _, h := range probes {
+			want := persist.RangesContain(c[0], h) && !persist.RangesContain(c[1], h)
+			if have := persist.RangesContain(got, h); have != want {
+				t.Fatalf("case %d hash %#x: subtract membership %v, want %v (got %v)", ci, h, have, want, got)
+			}
+		}
+	}
+}
+
+// TestHandoffMovesExactlyTheGainedRanges: across a readmission, the
+// intersection of an old owner's ranges with the rejoining member's
+// new ranges must be exactly the hashes that changed hands between the
+// two.
+func TestHandoffMovesExactlyTheGainedRanges(t *testing.T) {
+	old := NewRing([]string{"a", "b"}, 64)
+	cur := NewRing([]string{"a", "b", "c"}, 64)
+	moved := Intersect(old.Ranges("a"), cur.Ranges("c"))
+	for _, h := range sampleHashes() {
+		want := old.Owner(h) == "a" && cur.Owner(h) == "c"
+		if got := persist.RangesContain(moved, h); got != want {
+			t.Fatalf("hash %#x: moved-set membership %v, want %v", h, got, want)
+		}
+	}
+}

@@ -1,0 +1,705 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"desh/internal/persist"
+	"desh/internal/persist/faultfs"
+	"desh/internal/retry"
+)
+
+// ErrRouterClosed is returned by ingest entry points after Close.
+var ErrRouterClosed = errors.New("cluster: router is closed")
+
+// Peer describes one cluster instance the router fronts.
+type Peer struct {
+	// Name is the stable member name (ring placement hashes it).
+	Name string
+	// URL is the instance's HTTP base, e.g. "http://10.0.0.7:8080".
+	URL string
+	// Dir is the instance's state directory on the shared filesystem —
+	// the takeover source if the instance dies (empty disables
+	// takeover for this peer).
+	Dir string
+}
+
+// RouterConfig tunes a Router. Zero fields take the documented
+// defaults.
+type RouterConfig struct {
+	// Peers is the initial membership (at least one required).
+	Peers []Peer
+	// Vnodes is the virtual-node count per member (default 64).
+	Vnodes int
+	// SpillDir is the router's local WAL for events it cannot deliver
+	// right now — owner unreachable, range frozen mid-handoff, sender
+	// backlogged. Spilled lines redeliver in order once the owner
+	// recovers; the WAL bounds memory while losing nothing. Required.
+	SpillDir string
+	// HealthInterval is the per-peer probe period (default 250ms).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one probe (default 1s).
+	HealthTimeout time.Duration
+	// FailThreshold consecutive probe failures eject a peer from the
+	// ring (default 3).
+	FailThreshold int
+	// ReadmitThreshold consecutive probe successes readmit an ejected
+	// peer — probation, so a flapping peer does not thrash the ring
+	// (default 3).
+	ReadmitThreshold int
+	// DrainInterval is the spill-WAL redelivery period (default 250ms).
+	DrainInterval time.Duration
+	// Retry is the per-batch forward backoff (default: 10ms base, 1s
+	// cap, 4 attempts).
+	Retry retry.Policy
+	// BatchMax caps lines per forwarded POST (default 256).
+	BatchMax int
+	// SendQueue bounds each peer's in-memory sender queue; overflow
+	// spills (default 4096).
+	SendQueue int
+	// Diag, when set, receives one-line operational diagnostics.
+	Diag func(format string, args ...any)
+}
+
+// RouterMetrics is the router's own counter registry.
+type RouterMetrics struct {
+	// Forwarded counts lines accepted by an owner; ForwardErrors counts
+	// batches that exhausted their retries.
+	Forwarded     atomic.Int64
+	ForwardErrors atomic.Int64
+	// Malformed counts lines the router could not parse a node from.
+	Malformed atomic.Int64
+	// Spilled counts lines written to the spill WAL; Drained counts
+	// lines redelivered from it; SpillErrors counts spill appends or
+	// replays that failed.
+	Spilled     atomic.Int64
+	Drained     atomic.Int64
+	SpillErrors atomic.Int64
+	// RejectedLines counts lines an instance bounced (not owned or
+	// frozen); each bounce respills for redelivery.
+	RejectedLines atomic.Int64
+	// PeerUnhealthy counts ejections; Readmits counts probation
+	// re-admissions; Rebalances counts both kinds of ring change.
+	PeerUnhealthy atomic.Int64
+	Readmits      atomic.Int64
+	Rebalances    atomic.Int64
+	// HandoffErrors / TakeoverErrors count failed migration calls
+	// during a rebalance (the affected ranges serve cold).
+	HandoffErrors  atomic.Int64
+	TakeoverErrors atomic.Int64
+}
+
+// RouterMetricsSnapshot is the JSON view of RouterMetrics plus the
+// current epoch.
+type RouterMetricsSnapshot struct {
+	Epoch          uint64 `json:"cluster_epoch"`
+	Forwarded      int64  `json:"forwarded"`
+	ForwardErrors  int64  `json:"forward_errors"`
+	Malformed      int64  `json:"malformed"`
+	Spilled        int64  `json:"spilled"`
+	Drained        int64  `json:"drained"`
+	SpillErrors    int64  `json:"spill_errors"`
+	RejectedLines  int64  `json:"rejected_lines"`
+	PeerUnhealthy  int64  `json:"peer_unhealthy"`
+	Readmits       int64  `json:"readmits"`
+	Rebalances     int64  `json:"rebalances"`
+	HandoffErrors  int64  `json:"handoff_errors"`
+	TakeoverErrors int64  `json:"takeover_errors"`
+}
+
+type peerState struct {
+	Peer
+	ch       chan string
+	healthy  atomic.Bool
+	inflight atomic.Int64
+	// fails / oks are consecutive probe counts, touched only by the
+	// peer's health goroutine.
+	fails int
+	oks   int
+	// inRing is guarded by Router.mu.
+	inRing bool
+}
+
+// Router is the fault-tolerant ingest tier: it parses incoming lines,
+// routes each to its node's owner on the consistent-hash ring, and
+// keeps the cluster converged — per-peer health probing with
+// failure-threshold ejection and probation readmission, takeover
+// orchestration for dead peers, live handoffs for readmitted ones,
+// and a spill WAL so no event is lost while any of that is happening.
+type Router struct {
+	cfg    RouterConfig
+	client *http.Client
+	fsys   faultfs.FS
+
+	mu    sync.RWMutex // ring, epoch, peer ring-membership
+	ring  *Ring
+	epoch uint64
+	peers map[string]*peerState
+
+	// rebalMu serializes eject/readmit orchestration end to end.
+	rebalMu sync.Mutex
+
+	// drainMu serializes whole drain passes (drainLoop vs Flush): a
+	// second rotation while the first pass is still re-routing would
+	// replay the not-yet-truncated records again and double-deliver.
+	drainMu sync.Mutex
+
+	spillMu sync.Mutex
+	spill   *persist.WAL
+	spillN  int64 // records appended since the last drain rotation
+
+	met    RouterMetrics
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	closeMu sync.Mutex
+	closed  bool
+}
+
+// NewRouter builds and starts a router: the spill WAL is opened (and
+// any records left by a previous run queued for redelivery), sender,
+// health and drain goroutines start, and ownership at epoch 1 is
+// pushed to every peer.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("cluster: router needs at least one peer")
+	}
+	if cfg.SpillDir == "" {
+		return nil, fmt.Errorf("cluster: router needs a spill dir")
+	}
+	if cfg.Vnodes <= 0 {
+		cfg.Vnodes = defaultVnodes
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = 250 * time.Millisecond
+	}
+	if cfg.HealthTimeout <= 0 {
+		cfg.HealthTimeout = time.Second
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 3
+	}
+	if cfg.ReadmitThreshold <= 0 {
+		cfg.ReadmitThreshold = 3
+	}
+	if cfg.DrainInterval <= 0 {
+		cfg.DrainInterval = 250 * time.Millisecond
+	}
+	if cfg.Retry.Attempts == 0 {
+		cfg.Retry.Attempts = 4
+	}
+	if cfg.BatchMax <= 0 {
+		cfg.BatchMax = 256
+	}
+	if cfg.SendQueue <= 0 {
+		cfg.SendQueue = 4096
+	}
+	fsys := faultfs.OS()
+	if err := fsys.MkdirAll(cfg.SpillDir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: spill dir: %w", err)
+	}
+	// A previous run's spill segments redeliver on the first drain; the
+	// scan also finds where the WAL sequence left off.
+	stats, err := persist.ReplayWAL(fsys, cfg.SpillDir, 0, func(uint64, []byte) error { return nil })
+	if err != nil {
+		return nil, fmt.Errorf("cluster: spill scan: %w", err)
+	}
+	if err := persist.RepairTail(fsys, cfg.SpillDir, stats); err != nil {
+		return nil, fmt.Errorf("cluster: spill repair: %w", err)
+	}
+	spill, err := persist.OpenWAL(fsys, cfg.SpillDir, stats.NextSeq, 1, 0)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: spill wal: %w", err)
+	}
+	names := make([]string, 0, len(cfg.Peers))
+	peers := make(map[string]*peerState, len(cfg.Peers))
+	for _, p := range cfg.Peers {
+		if _, dup := peers[p.Name]; dup {
+			spill.Close()
+			return nil, fmt.Errorf("cluster: duplicate peer name %q", p.Name)
+		}
+		ps := &peerState{Peer: p, ch: make(chan string, cfg.SendQueue), inRing: true}
+		ps.healthy.Store(true)
+		peers[p.Name] = ps
+		names = append(names, p.Name)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Router{
+		cfg:    cfg,
+		client: &http.Client{Timeout: 30 * time.Second},
+		fsys:   fsys,
+		ring:   NewRing(names, cfg.Vnodes),
+		epoch:  1,
+		peers:  peers,
+		spill:  spill,
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	if stats.Records > 0 {
+		r.spillMu.Lock()
+		r.spillN = int64(stats.Records)
+		r.spillMu.Unlock()
+	}
+	r.pushOwnership(1, r.ring, names)
+	for _, ps := range peers {
+		r.wg.Add(2)
+		go r.sender(ps)
+		go r.healthLoop(ps)
+	}
+	r.wg.Add(1)
+	go r.drainLoop()
+	return r, nil
+}
+
+func (r *Router) diagf(format string, args ...any) {
+	if r.cfg.Diag != nil {
+		r.cfg.Diag(format, args...)
+	}
+}
+
+// Epoch returns the current cluster epoch.
+func (r *Router) Epoch() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.epoch
+}
+
+// IngestLine routes one raw log line to its node's owner. Lines that
+// cannot be delivered right now spill durably and redeliver later;
+// only parse failures are returned.
+func (r *Router) IngestLine(line string) error {
+	r.closeMu.Lock()
+	closed := r.closed
+	r.closeMu.Unlock()
+	if closed {
+		return ErrRouterClosed
+	}
+	ev, err := parseLine(line)
+	if err != nil {
+		r.met.Malformed.Add(1)
+		return err
+	}
+	if ev.Node == "" { // blank
+		return nil
+	}
+	r.route(line, ev.Node)
+	return nil
+}
+
+// route enqueues a line for its owner's sender, spilling when the
+// owner is unknown, unhealthy, or backlogged.
+func (r *Router) route(line, node string) {
+	r.mu.RLock()
+	owner := r.ring.Owner(persist.NodeHash(node))
+	ps := r.peers[owner]
+	r.mu.RUnlock()
+	if ps == nil || !ps.healthy.Load() {
+		r.spillLine(line)
+		return
+	}
+	select {
+	case ps.ch <- line:
+	default:
+		r.spillLine(line)
+	}
+}
+
+func (r *Router) spillLine(line string) {
+	r.spillMu.Lock()
+	_, err := r.spill.Append([]byte(line))
+	if err == nil {
+		r.spillN++
+	}
+	r.spillMu.Unlock()
+	if err != nil {
+		r.met.SpillErrors.Add(1)
+		r.diagf("cluster: spill append: %v", err)
+		return
+	}
+	r.met.Spilled.Add(1)
+}
+
+// sender is one peer's delivery goroutine: it coalesces queued lines
+// into batches and POSTs them with bounded retry, spilling what it
+// cannot deliver. One goroutine per peer keeps per-peer delivery FIFO.
+func (r *Router) sender(ps *peerState) {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.ctx.Done():
+			return
+		case line := <-ps.ch:
+			batch := append(make([]string, 0, r.cfg.BatchMax), line)
+		fill:
+			for len(batch) < r.cfg.BatchMax {
+				select {
+				case more := <-ps.ch:
+					batch = append(batch, more)
+				default:
+					break fill
+				}
+			}
+			ps.inflight.Add(1)
+			r.sendBatch(ps, batch)
+			ps.inflight.Add(-1)
+		}
+	}
+}
+
+func (r *Router) sendBatch(ps *peerState, batch []string) {
+	var reply ingestReply
+	err := retry.Do(r.ctx, r.cfg.Retry, func() error {
+		reply = ingestReply{}
+		resp, err := r.client.Post(ps.URL+"/ingest", "text/plain", strings.NewReader(strings.Join(batch, "\n")))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: %s", ps.URL, resp.Status)
+		}
+		return json.NewDecoder(resp.Body).Decode(&reply)
+	})
+	if err != nil {
+		// Undeliverable for now: every line in the batch spills, the
+		// health loop decides the peer's fate.
+		r.met.ForwardErrors.Add(1)
+		for _, line := range batch {
+			r.spillLine(line)
+		}
+		return
+	}
+	r.met.Forwarded.Add(int64(len(batch) - len(reply.Rejected)))
+	if len(reply.Rejected) > 0 {
+		// Bounced lines (not owned / frozen) respool in order; the drain
+		// redelivers them to whoever owns the range by then.
+		r.met.RejectedLines.Add(int64(len(reply.Rejected)))
+		for _, i := range reply.Rejected {
+			if i >= 0 && i < len(batch) {
+				r.spillLine(batch[i])
+			}
+		}
+	}
+}
+
+// drainLoop periodically redelivers the spill WAL.
+func (r *Router) drainLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.DrainInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.ctx.Done():
+			return
+		case <-t.C:
+			r.drainSpill()
+		}
+	}
+}
+
+// drainSpill rotates the spill WAL at a boundary, re-routes every
+// record below it, then truncates what it re-routed. Lines that still
+// cannot be delivered respill above the boundary and survive for the
+// next pass — at-least-once redelivery, with the instances' dedup
+// rings absorbing the repeats.
+func (r *Router) drainSpill() {
+	r.drainMu.Lock()
+	defer r.drainMu.Unlock()
+	r.spillMu.Lock()
+	if r.spillN == 0 {
+		r.spillMu.Unlock()
+		return
+	}
+	boundary, err := r.spill.Rotate()
+	if err != nil {
+		r.spillMu.Unlock()
+		r.met.SpillErrors.Add(1)
+		return
+	}
+	r.spillN = 0
+	r.spillMu.Unlock()
+	var lines []string
+	_, rerr := persist.ReplayWAL(r.fsys, r.cfg.SpillDir, 0, func(seq uint64, payload []byte) error {
+		if seq < boundary {
+			lines = append(lines, string(payload))
+		}
+		return nil
+	})
+	if rerr != nil {
+		// Damaged spill segments cannot be redelivered; dropping them is
+		// the only way out of an otherwise-permanent replay loop.
+		r.met.SpillErrors.Add(1)
+		r.diagf("cluster: spill replay: %v", rerr)
+	}
+	for _, line := range lines {
+		ev, err := parseLine(line)
+		if err != nil || ev.Node == "" {
+			continue
+		}
+		r.route(line, ev.Node)
+	}
+	_ = r.spill.RemoveSegmentsBelow(boundary)
+	r.met.Drained.Add(int64(len(lines)))
+}
+
+// healthLoop probes one peer until shutdown.
+func (r *Router) healthLoop(ps *peerState) {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.ctx.Done():
+			return
+		case <-t.C:
+			r.probe(ps)
+		}
+	}
+}
+
+func (r *Router) probe(ps *peerState) {
+	ctx, cancel := context.WithTimeout(r.ctx, r.cfg.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ps.URL+"/healthz", nil)
+	ok := false
+	if err == nil {
+		resp, rerr := r.client.Do(req)
+		if rerr == nil {
+			resp.Body.Close()
+			ok = resp.StatusCode == http.StatusOK
+		}
+	}
+	r.mu.RLock()
+	inRing := ps.inRing
+	r.mu.RUnlock()
+	if ok {
+		ps.fails = 0
+		ps.oks++
+		if !inRing && ps.oks >= r.cfg.ReadmitThreshold {
+			r.readmit(ps)
+		}
+		return
+	}
+	ps.oks = 0
+	ps.fails++
+	if inRing && ps.fails >= r.cfg.FailThreshold {
+		r.eject(ps)
+	}
+}
+
+// eject removes a dead peer from the ring and rebalances: survivors
+// rebuild the dead peer's ranges from its state directory (takeover),
+// then the new ownership pushes to the whole fleet. Until ownership
+// lands, lines for the moved ranges bounce and spill — delivered late,
+// never lost.
+func (r *Router) eject(dead *peerState) {
+	r.rebalMu.Lock()
+	defer r.rebalMu.Unlock()
+	r.mu.Lock()
+	if !dead.inRing {
+		r.mu.Unlock()
+		return
+	}
+	dead.inRing = false
+	dead.healthy.Store(false)
+	oldRing := r.ring
+	alive := r.aliveLocked()
+	r.epoch++
+	epoch := r.epoch
+	r.ring = NewRing(alive, r.cfg.Vnodes)
+	newRing := r.ring
+	r.mu.Unlock()
+	r.met.PeerUnhealthy.Add(1)
+	r.met.Rebalances.Add(1)
+	r.diagf("cluster: peer %s unhealthy, ejected at epoch %d (%d peers remain)", dead.Name, epoch, len(alive))
+	if len(alive) == 0 {
+		return // everything spills until someone comes back
+	}
+	deadRanges := oldRing.Ranges(dead.Name)
+	if dead.Dir != "" {
+		for _, name := range alive {
+			moved := Intersect(deadRanges, newRing.Ranges(name))
+			if len(moved) == 0 {
+				continue
+			}
+			sp := r.peers[name]
+			if err := postJSON(r.client, sp.URL+"/cluster/takeover",
+				takeoverRequest{Epoch: epoch, Dir: dead.Dir, Ranges: moved}, nil); err != nil {
+				// The survivor serves these ranges cold: state continuity is
+				// lost but rerouted events still flow once ownership lands.
+				r.met.TakeoverErrors.Add(1)
+				r.diagf("cluster: takeover by %s from %s failed: %v", name, dead.Dir, err)
+			}
+		}
+	}
+	r.pushOwnership(epoch, newRing, alive)
+}
+
+// readmit returns a recovered peer to the ring after probation: the
+// ranges it regains hand off live from their current owners (journaled
+// two-commit-point migration), then the ring swaps and ownership
+// pushes fleet-wide. The old ring stays installed — and the returnee
+// stays unhealthy — until every handoff lands: the returnee's stale
+// epoch may cover the very ranges it is regaining, so a line routed to
+// it before the import would be accepted into state the import then
+// replaces. While the handoffs run, lines for the moving ranges hit
+// their frozen current owners, bounce, and spill — late, never lost.
+func (r *Router) readmit(ps *peerState) {
+	r.rebalMu.Lock()
+	defer r.rebalMu.Unlock()
+	r.mu.Lock()
+	if ps.inRing {
+		r.mu.Unlock()
+		return
+	}
+	oldRing := r.ring
+	alive := append(r.aliveLocked(), ps.Name)
+	r.epoch++
+	epoch := r.epoch
+	r.mu.Unlock()
+	newRing := NewRing(alive, r.cfg.Vnodes)
+	r.diagf("cluster: peer %s rejoining at epoch %d", ps.Name, epoch)
+	gained := newRing.Ranges(ps.Name)
+	for _, owner := range oldRing.Members() {
+		if owner == ps.Name {
+			continue
+		}
+		src := r.peers[owner]
+		if src == nil || !src.healthy.Load() {
+			continue
+		}
+		moved := Intersect(oldRing.Ranges(owner), gained)
+		if len(moved) == 0 {
+			continue
+		}
+		if err := postJSON(r.client, src.URL+"/cluster/handoff",
+			handoffRequest{Epoch: epoch, Target: ps.URL, Ranges: moved}, nil); err != nil {
+			r.met.HandoffErrors.Add(1)
+			r.diagf("cluster: handoff %s -> %s failed: %v", owner, ps.Name, err)
+		}
+	}
+	r.mu.Lock()
+	ps.inRing = true
+	ps.healthy.Store(true)
+	r.ring = newRing
+	r.mu.Unlock()
+	r.pushOwnership(epoch, newRing, alive)
+	r.met.Readmits.Add(1)
+	r.met.Rebalances.Add(1)
+	r.diagf("cluster: peer %s readmitted at epoch %d", ps.Name, epoch)
+}
+
+// aliveLocked returns the names of in-ring peers; call with r.mu held.
+func (r *Router) aliveLocked() []string {
+	var names []string
+	for name, ps := range r.peers {
+		if ps.inRing {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+// pushOwnership installs the ring's assignment on every named peer.
+func (r *Router) pushOwnership(epoch uint64, ring *Ring, names []string) {
+	for _, name := range names {
+		ps := r.peers[name]
+		if ps == nil {
+			continue
+		}
+		req := struct {
+			Epoch  uint64              `json:"epoch"`
+			Ranges []persist.HashRange `json:"ranges"`
+		}{Epoch: epoch, Ranges: ring.Ranges(name)}
+		if err := postJSON(r.client, ps.URL+"/cluster/ownership", req, nil); err != nil {
+			r.diagf("cluster: ownership push to %s: %v", name, err)
+		}
+	}
+}
+
+// Flush drives the router to quiescence: every queued, in-flight and
+// spilled line delivered (or ctx expired). Used by graceful shutdown
+// and the equivalence tests.
+func (r *Router) Flush(ctx context.Context) error {
+	settled := 0
+	for {
+		r.drainSpill()
+		if r.quiescent() {
+			settled++
+			// Two consecutive quiet passes: nothing was in flight between
+			// them, so no line can still be wandering.
+			if settled >= 2 {
+				return nil
+			}
+		} else {
+			settled = 0
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+func (r *Router) quiescent() bool {
+	r.spillMu.Lock()
+	spilled := r.spillN
+	r.spillMu.Unlock()
+	if spilled != 0 {
+		return false
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, ps := range r.peers {
+		if len(ps.ch) != 0 || ps.inflight.Load() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Close stops ingest and every background goroutine, then closes the
+// spill WAL. Undelivered spill records stay on disk and redeliver on
+// the next start.
+func (r *Router) Close() error {
+	r.closeMu.Lock()
+	if r.closed {
+		r.closeMu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.closeMu.Unlock()
+	r.cancel()
+	r.wg.Wait()
+	r.spillMu.Lock()
+	defer r.spillMu.Unlock()
+	return r.spill.Close()
+}
+
+// Metrics snapshots the router's own counters.
+func (r *Router) Metrics() RouterMetricsSnapshot {
+	return RouterMetricsSnapshot{
+		Epoch:          r.Epoch(),
+		Forwarded:      r.met.Forwarded.Load(),
+		ForwardErrors:  r.met.ForwardErrors.Load(),
+		Malformed:      r.met.Malformed.Load(),
+		Spilled:        r.met.Spilled.Load(),
+		Drained:        r.met.Drained.Load(),
+		SpillErrors:    r.met.SpillErrors.Load(),
+		RejectedLines:  r.met.RejectedLines.Load(),
+		PeerUnhealthy:  r.met.PeerUnhealthy.Load(),
+		Readmits:       r.met.Readmits.Load(),
+		Rebalances:     r.met.Rebalances.Load(),
+		HandoffErrors:  r.met.HandoffErrors.Load(),
+		TakeoverErrors: r.met.TakeoverErrors.Load(),
+	}
+}

@@ -59,10 +59,10 @@ type osFS struct{}
 func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
 	return os.OpenFile(name, flag, perm)
 }
-func (osFS) Open(name string) (File, error)            { return os.Open(name) }
-func (osFS) Rename(oldpath, newpath string) error      { return os.Rename(oldpath, newpath) }
-func (osFS) Remove(name string) error                  { return os.Remove(name) }
-func (osFS) Truncate(name string, size int64) error    { return os.Truncate(name, size) }
+func (osFS) Open(name string) (File, error)             { return os.Open(name) }
+func (osFS) Rename(oldpath, newpath string) error       { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                   { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error     { return os.Truncate(name, size) }
 func (osFS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
 func (osFS) MkdirAll(name string, perm fs.FileMode) error {
 	return os.MkdirAll(name, perm)

@@ -1,0 +1,118 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// maxRand drives the jitter to its ceiling, making Delay deterministic
+// and equal to the un-jittered bound.
+func maxRand(n int64) int64 { return n - 1 }
+
+func TestDelayExponentialAndCapped(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Rand: maxRand}
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for attempt, w := range want {
+		if got := p.Delay(attempt); got != w*time.Millisecond {
+			t.Fatalf("Delay(%d) = %v, want %v", attempt, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestDelayFullJitterRange(t *testing.T) {
+	p := Policy{Base: 64 * time.Millisecond, Max: time.Second}
+	low, high := false, false
+	for i := 0; i < 2000; i++ {
+		d := p.Delay(0)
+		if d <= 0 || d > 64*time.Millisecond {
+			t.Fatalf("Delay(0) = %v outside (0, 64ms]", d)
+		}
+		if d <= 16*time.Millisecond {
+			low = true
+		}
+		if d > 48*time.Millisecond {
+			high = true
+		}
+	}
+	if !low || !high {
+		t.Fatalf("2000 samples never spanned the jitter window (low=%v high=%v): not full jitter", low, high)
+	}
+}
+
+func TestDelayZeroValuePolicy(t *testing.T) {
+	var p Policy
+	p.Rand = maxRand
+	if got := p.Delay(0); got != DefaultBase {
+		t.Fatalf("zero-value Delay(0) = %v, want %v", got, DefaultBase)
+	}
+	if got := p.Delay(1000); got != DefaultMax {
+		t.Fatalf("zero-value Delay(1000) = %v, want cap %v (overflow-safe)", got, DefaultMax)
+	}
+}
+
+func TestDoStopsOnSuccess(t *testing.T) {
+	calls := 0
+	p := Policy{Base: time.Microsecond, Max: time.Microsecond}
+	err := Do(context.Background(), p, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want nil after 3", err, calls)
+	}
+}
+
+func TestDoBoundedAttempts(t *testing.T) {
+	sentinel := errors.New("still down")
+	calls := 0
+	p := Policy{Base: time.Microsecond, Max: time.Microsecond, Attempts: 4}
+	err := Do(context.Background(), p, func() error { calls++; return sentinel })
+	if !errors.Is(err, sentinel) || calls != 4 {
+		t.Fatalf("Do = %v after %d calls, want sentinel after exactly 4", err, calls)
+	}
+}
+
+func TestDoContextCancelDuringBackoff(t *testing.T) {
+	sentinel := errors.New("down")
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{Base: time.Hour, Max: time.Hour, Rand: maxRand}
+	done := make(chan error, 1)
+	go func() {
+		done <- Do(ctx, p, func() error { return sentinel })
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Do = %v, want context.Canceled in chain", err)
+		}
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("Do = %v, want last fn error joined in", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do did not return after cancellation")
+	}
+}
+
+func TestWaitStopChannel(t *testing.T) {
+	p := Policy{Base: time.Hour, Max: time.Hour, Rand: maxRand}
+	stop := make(chan struct{})
+	close(stop)
+	start := time.Now()
+	if p.Wait(stop, 0) {
+		t.Fatal("Wait = true with stop already closed")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Wait blocked despite closed stop channel")
+	}
+	fast := Policy{Base: time.Millisecond, Max: time.Millisecond}
+	if !fast.Wait(make(chan struct{}), 0) {
+		t.Fatal("Wait = false with open stop channel")
+	}
+}

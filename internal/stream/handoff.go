@@ -1,0 +1,730 @@
+// Shard handoff: migrating the streaming state of a node hash range
+// between deshd instances with zero lost and zero duplicated alerts.
+//
+// The live protocol mirrors PR 7's model swap — two commit points,
+// journaled in the WAL:
+//
+//  1. Source: BeginHandoff journals RecHandoffBegin (intent), freezes
+//     ingest for the range, rotates the WAL and captures the range's
+//     state at a shard barrier. The source KEEPS the state: Begin is
+//     a copy, not a move, so a target that dies mid-transfer aborts
+//     cleanly.
+//  2. Target: ImportState journals RecHandoffIn carrying the full
+//     payload — the target-side commit point. Boot replay re-applies
+//     the import at exactly this WAL position.
+//  3. Source: CompleteHandoff journals RecHandoffOut and drops the
+//     range (or AbortHandoff journals RecHandoffAbort and unfreezes,
+//     keeping it).
+//
+// A crash between 1 and 3 recovers with the Begin intent unresolved:
+// the source keeps its state and the range stays frozen until the
+// cluster layer resolves against the target (did RecHandoffIn
+// commit?). Either exactly one side serves the range, or — when the
+// target is unreachable — zero sides do and the router spills; never
+// two.
+//
+// Phrase-id spaces differ between instances (each extends its encoder
+// at runtime), so every id embedded in shipped state is remapped on
+// import: events re-encode by phrase key, dedup-ring entries translate
+// through the shipped EncKeys table.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"desh/internal/logparse"
+	"desh/internal/persist"
+	"desh/internal/persist/faultfs"
+)
+
+// ErrFrozen is returned by ingest entry points for events whose node
+// range is frozen mid-handoff. The router treats it as "respool and
+// redeliver to the new owner".
+var ErrFrozen = errors.New("stream: node range is frozen for handoff")
+
+// ErrHandoffInFlight rejects a BeginHandoff while another handoff
+// (live or recovered-unresolved) is pending.
+var ErrHandoffInFlight = errors.New("stream: a handoff is already in flight")
+
+// HandoffState is the portable streaming state of a node hash range:
+// everything a receiving instance needs to continue serving the range
+// with no lost and no duplicated alerts. Produced by BeginHandoff
+// (live source) or LoadHandoffFromDir (takeover from a dead
+// instance's state dir); consumed by ImportState.
+type HandoffState struct {
+	// EncKeys is the source's phrase table in id order; embedded ids
+	// translate through it into the receiver's id space.
+	EncKeys []string
+	// Nodes is the per-node durable state, in source id space.
+	Nodes map[string]persistedNode
+	// Pending is the WAL tail not reflected in Nodes, in append order —
+	// empty for a live handoff (the barrier capture IS the tail),
+	// populated for a dead-instance takeover.
+	Pending []persist.EventRecord
+	// Ledger counts alerts the source already delivered for these
+	// nodes; replaying Pending consumes it instead of re-alerting.
+	Ledger map[string]int
+	// Quarantined marks poisoned events Pending replay must skip.
+	Quarantined map[string]bool
+}
+
+// handoffIntent is an outbound handoff between its two commit points.
+type handoffIntent struct {
+	epoch  uint64
+	target string
+	ranges []persist.HashRange
+}
+
+// dropBarrier rides the shard queues at CompleteHandoff: each shard
+// deletes its nodes inside the ranges at that exact queue position.
+type dropBarrier struct {
+	ranges []persist.HashRange
+	ack    chan int
+}
+
+// importLedger is the shared already-delivered ledger of one live
+// import; shards consume it concurrently while replaying the pending
+// tail.
+type importLedger struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+func (l *importLedger) take(a Alert) bool {
+	k := alertRecordOf(a).LedgerKey()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.m[k] > 0 {
+		l.m[k]--
+		return true
+	}
+	return false
+}
+
+// importBarrier carries one shard's slice of an imported range:
+// remapped node states to install and the pending tail to replay, at
+// the barrier's exact queue position.
+type importBarrier struct {
+	nodes   map[string]persistedNode
+	pending []logparse.EncodedEvent
+	led     *importLedger
+	ack     chan int
+}
+
+// BeginHandoff opens an outbound handoff: journal the intent, freeze
+// ingest for the ranges, and capture their state at a WAL-rotation
+// barrier. The returned state is a consistent copy — the source keeps
+// serving everything outside the ranges and keeps (frozen) ownership
+// of the state until CompleteHandoff or AbortHandoff.
+func (s *Streamer) BeginHandoff(epoch uint64, target string, ranges []persist.HashRange) (*HandoffState, error) {
+	if len(ranges) == 0 {
+		return nil, fmt.Errorf("stream: handoff with no ranges")
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if s.handoff != nil {
+		s.mu.Unlock()
+		return nil, ErrHandoffInFlight
+	}
+	if s.pst != nil {
+		rec := persist.HandoffRecord{Epoch: epoch, Peer: target, Ranges: ranges}
+		if _, err := s.pst.wal.Append(persist.EncodeHandoff(persist.RecHandoffBegin, rec)); err != nil {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("stream: handoff journal: %w", err)
+		}
+		// The rotation aligns the capture with a segment boundary, the
+		// same cut snapshots use.
+		if _, err := s.pst.wal.Rotate(); err != nil {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("stream: handoff rotate: %w", err)
+		}
+	}
+	s.handoff = &handoffIntent{epoch: epoch, target: target, ranges: ranges}
+	s.frozen = ranges
+	replies := make(chan map[string]persistedNode, len(s.shards))
+	for _, sh := range s.shards {
+		sh.ch <- shardMsg{snap: replies}
+	}
+	s.mu.Unlock()
+	nodes := make(map[string]persistedNode)
+	for range s.shards {
+		select {
+		case m := <-replies:
+			for node, pn := range m {
+				if persist.RangesContain(ranges, persist.NodeHash(node)) {
+					nodes[node] = pn
+				}
+			}
+		case <-s.done:
+			return nil, ErrClosed
+		}
+	}
+	s.encMu.RLock()
+	keys := s.enc.Keys()
+	s.encMu.RUnlock()
+	s.met.HandoffsStarted.Add(1)
+	return &HandoffState{EncKeys: keys, Nodes: nodes}, nil
+}
+
+// CompleteHandoff resolves the in-flight (or recovered-unresolved)
+// handoff as committed on the target: journal RecHandoffOut, drop the
+// ranges' state at a shard barrier, unfreeze. Only call once the
+// target durably holds the state (its ImportState returned, or its
+// journal confirms the epoch).
+func (s *Streamer) CompleteHandoff() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	h := s.handoff
+	if h == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("stream: no handoff in flight")
+	}
+	if s.pst != nil {
+		rec := persist.HandoffRecord{Epoch: h.epoch, Peer: h.target, Ranges: h.ranges}
+		if _, err := s.pst.wal.Append(persist.EncodeHandoff(persist.RecHandoffOut, rec)); err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("stream: handoff journal: %w", err)
+		}
+	}
+	s.handoff = nil
+	s.frozen = nil
+	b := &dropBarrier{ranges: h.ranges, ack: make(chan int, len(s.shards))}
+	for _, sh := range s.shards {
+		sh.ch <- shardMsg{drop: b}
+	}
+	s.mu.Unlock()
+	for range s.shards {
+		select {
+		case <-b.ack:
+		case <-s.done:
+			// The Out record is durable: recovery re-applies the drop.
+			return ErrClosed
+		}
+	}
+	s.met.HandoffsCompleted.Add(1)
+	return nil
+}
+
+// AbortHandoff resolves the in-flight (or recovered-unresolved)
+// handoff as NOT committed on the target: journal RecHandoffAbort and
+// unfreeze — the source keeps the state and resumes serving it.
+func (s *Streamer) AbortHandoff() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	h := s.handoff
+	if h == nil {
+		return fmt.Errorf("stream: no handoff in flight")
+	}
+	if s.pst != nil {
+		rec := persist.HandoffRecord{Epoch: h.epoch, Peer: h.target, Ranges: h.ranges}
+		if _, err := s.pst.wal.Append(persist.EncodeHandoff(persist.RecHandoffAbort, rec)); err != nil {
+			return fmt.Errorf("stream: handoff journal: %w", err)
+		}
+	}
+	s.handoff = nil
+	s.frozen = nil
+	s.met.HandoffsAborted.Add(1)
+	return nil
+}
+
+// PendingHandoff reports an outbound handoff intent awaiting
+// resolution — either live between Begin and Complete/Abort, or
+// journaled before a crash and recovered unresolved. The cluster
+// layer resolves it with CompleteHandoff or AbortHandoff after
+// querying the target.
+func (s *Streamer) PendingHandoff() (epoch uint64, target string, ranges []persist.HashRange, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.handoff == nil {
+		return 0, "", nil, false
+	}
+	h := s.handoff
+	return h.epoch, h.target, append([]persist.HashRange(nil), h.ranges...), true
+}
+
+// ImportState installs a shipped range into this streamer: journal
+// RecHandoffIn with the full payload (the target-side commit point),
+// then install remapped node state and replay the pending tail at a
+// shard barrier, suppressing alerts the source already delivered.
+func (s *Streamer) ImportState(epoch uint64, source string, ranges []persist.HashRange, st *HandoffState) error {
+	if st == nil {
+		return fmt.Errorf("stream: nil handoff state")
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if s.pst != nil {
+		payload, err := persist.EncodeSnapshot(st)
+		if err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("stream: handoff state encode: %w", err)
+		}
+		rec := persist.EncodeHandoff(persist.RecHandoffIn, persist.HandoffRecord{
+			Epoch: epoch, Peer: source, Ranges: ranges, State: payload,
+		})
+		if len(rec) > persist.MaxRecord {
+			s.mu.Unlock()
+			return fmt.Errorf("stream: handoff state %d bytes exceeds the WAL record bound — hand off smaller ranges", len(rec))
+		}
+		if _, err := s.pst.wal.Append(rec); err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("stream: handoff journal: %w", err)
+		}
+	}
+	barriers := s.buildImport(st)
+	for i, sh := range s.shards {
+		sh.ch <- shardMsg{imp: barriers[i]}
+	}
+	s.mu.Unlock()
+	for range s.shards {
+		select {
+		case <-barriers[0].ack:
+		case <-s.done:
+			// The In record is durable: recovery re-applies the import.
+			return ErrClosed
+		}
+	}
+	s.met.HandoffImports.Add(1)
+	return nil
+}
+
+// buildImport remaps a shipped state into this streamer's id space and
+// splits it per shard. Runs under s.mu (encodeKey takes its own lock).
+func (s *Streamer) buildImport(st *HandoffState) []*importBarrier {
+	led := &importLedger{m: make(map[string]int, len(st.Ledger))}
+	for k, n := range st.Ledger {
+		led.m[k] = n
+	}
+	ack := make(chan int, len(s.shards))
+	out := make([]*importBarrier, len(s.shards))
+	for i := range out {
+		out[i] = &importBarrier{nodes: make(map[string]persistedNode), led: led, ack: ack}
+	}
+	for node, pn := range st.Nodes {
+		out[s.shardOf(node)].nodes[node] = s.remapNode(pn, st.EncKeys)
+	}
+	for _, rec := range st.Pending {
+		if st.Quarantined[persist.QuarantineRecord{TimeNano: rec.TimeNano, Node: rec.Node, Key: rec.Key}.LedgerKey()] {
+			continue
+		}
+		ev := logparse.Event{
+			Time: time.Unix(0, rec.TimeNano).UTC(), Node: rec.Node, Message: rec.Message, Key: rec.Key,
+		}
+		enc := logparse.EncodedEvent{Event: ev, ID: s.encodeKey(ev.Key)}
+		b := out[s.shardOf(ev.Node)]
+		b.pending = append(b.pending, enc)
+	}
+	return out
+}
+
+// remapNode translates one node's state from the source id space into
+// this streamer's: events re-encode by phrase key (always present),
+// dedup entries translate through the shipped EncKeys table (entries
+// whose id the table cannot resolve are dropped — they could never
+// match a re-encoded event anyway).
+func (s *Streamer) remapNode(pn persistedNode, encKeys []string) persistedNode {
+	open := make([]logparse.EncodedEvent, len(pn.Tracker.Open))
+	for i, ev := range pn.Tracker.Open {
+		ev.ID = s.encodeKey(ev.Key)
+		open[i] = ev
+	}
+	pn.Tracker.Open = open
+	reorder := make([]logparse.EncodedEvent, len(pn.Reorder))
+	for i, ev := range pn.Reorder {
+		ev.ID = s.encodeKey(ev.Key)
+		reorder[i] = ev
+	}
+	pn.Reorder = reorder
+	dedup := make([]dedupEntry, 0, len(pn.Dedup))
+	for _, e := range pn.Dedup {
+		if e.ID < 0 || e.ID >= len(encKeys) {
+			continue
+		}
+		e.ID = s.encodeKey(encKeys[e.ID])
+		dedup = append(dedup, e)
+	}
+	pn.Dedup = dedup
+	if pn.DedupPos >= len(dedup) {
+		pn.DedupPos = 0
+	}
+	return pn
+}
+
+// applyDrop is the shard side of CompleteHandoff's barrier.
+func (sh *shard) applyDrop(b *dropBarrier) {
+	sh.s.met.HandoffNodesOut.Add(int64(sh.dropNodes(b.ranges)))
+	b.ack <- sh.id
+}
+
+// dropNodes deletes every node in the ranges from this shard,
+// unwinding its gauges, and reports how many were dropped. Called on
+// the shard goroutine (barrier) or single-threaded (boot replay).
+func (sh *shard) dropNodes(ranges []persist.HashRange) int {
+	dropped := 0
+	for node, ns := range sh.nodes {
+		if !persist.RangesContain(ranges, persist.NodeHash(node)) {
+			continue
+		}
+		if ns.wasOpen {
+			sh.s.met.ChainsOpen.Add(-1)
+		}
+		if ns.et != nil {
+			sh.pending.Add(-int64(ns.et.heap.len()))
+		}
+		delete(sh.nodes, node)
+		dropped++
+	}
+	return dropped
+}
+
+// applyImport is the shard side of ImportState's barrier: install the
+// remapped nodes, then replay the pending tail with the shared ledger
+// suppressing already-delivered alerts. A panic is recovered locally —
+// the barrier must ack or ImportState deadlocks — and quarantines the
+// remainder of this shard's slice.
+func (sh *shard) applyImport(b *importBarrier) {
+	sh.imp = b
+	defer func() {
+		if r := recover(); r != nil {
+			sh.pend = sh.pend[:0]
+			sh.s.met.Quarantined.Add(1)
+		}
+		sh.imp = nil
+		b.ack <- sh.id
+	}()
+	for node, pn := range b.nodes {
+		if err := sh.installNode(node, pn); err != nil {
+			// Unreachable in practice (config validated in New); counted
+			// rather than fatal.
+			sh.s.met.Quarantined.Add(1)
+			continue
+		}
+		sh.s.met.HandoffNodesIn.Add(1)
+	}
+	for _, ev := range b.pending {
+		sh.s.met.Ingested.Add(1)
+		sh.s.met.ReplayedEvents.Add(1)
+		sh.importEvent(ev)
+	}
+}
+
+// importEvent replays one shipped WAL-tail event through the shard,
+// quarantining it on panic (mirrors processReplay, minus the boot-only
+// persister assumptions).
+func (sh *shard) importEvent(ev logparse.EncodedEvent) {
+	defer func() {
+		if r := recover(); r != nil {
+			sh.pend = sh.pend[:0]
+			sh.s.met.Quarantined.Add(1)
+			if sh.s.pst != nil {
+				sh.s.pst.appendQuarantine(sh.s, ev)
+			}
+		}
+	}()
+	sh.handle(ev)
+	sh.flushPending()
+	sh.s.met.Processed.Add(1)
+}
+
+// JournalEpoch durably records this instance's cluster ownership: the
+// epoch and the hash ranges it serves under it. Recovery surfaces the
+// newest record via RecoveredOwnership. No-op without persistence.
+func (s *Streamer) JournalEpoch(epoch uint64, ranges []persist.HashRange) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.pst == nil {
+		return nil
+	}
+	if _, err := s.pst.wal.Append(persist.EncodeEpoch(persist.EpochRecord{Epoch: epoch, Ranges: ranges})); err != nil {
+		return fmt.Errorf("stream: epoch journal: %w", err)
+	}
+	return nil
+}
+
+// RecoveredOwnership returns the newest ownership record boot
+// recovery replayed (ok=false on a cold start or without
+// persistence).
+func (s *Streamer) RecoveredOwnership() (persist.EpochRecord, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.recEpoch == nil {
+		return persist.EpochRecord{}, false
+	}
+	return *s.recEpoch, true
+}
+
+// replayHandoff re-applies one handoff record at its exact WAL
+// position during single-threaded boot recovery.
+func (s *Streamer) replayHandoff(typ byte, payload []byte) error {
+	rec, err := persist.DecodeHandoff(payload)
+	if err != nil {
+		return err
+	}
+	switch typ {
+	case persist.RecHandoffBegin:
+		// Intent: freeze the ranges and hold resolution. If no Out/Abort
+		// follows in the WAL, New returns with the intent pending and the
+		// cluster layer resolves against the target.
+		s.handoff = &handoffIntent{epoch: rec.Epoch, target: rec.Peer, ranges: rec.Ranges}
+		s.frozen = rec.Ranges
+	case persist.RecHandoffOut:
+		for _, sh := range s.shards {
+			sh.dropNodes(rec.Ranges)
+		}
+		s.handoff = nil
+		s.frozen = nil
+	case persist.RecHandoffAbort:
+		s.handoff = nil
+		s.frozen = nil
+	case persist.RecHandoffIn:
+		var st HandoffState
+		if err := persist.DecodeSnapshot(rec.State, &st); err != nil {
+			return fmt.Errorf("stream: journaled handoff state: %w", err)
+		}
+		return s.importDirect(&st)
+	}
+	return nil
+}
+
+// importDirect applies an imported range during single-threaded boot
+// replay: the shipped ledger merges into the recovery ledger (emit
+// consults it while replaying is set), nodes install directly, and
+// the pending tail re-feeds through the normal replay path — exactly
+// the effect the live import barrier had.
+func (s *Streamer) importDirect(st *HandoffState) error {
+	p := s.pst
+	p.mu.Lock()
+	for k, n := range st.Ledger {
+		p.ledger[k] += n
+	}
+	p.mu.Unlock()
+	for node, pn := range st.Nodes {
+		sh := s.shards[s.shardOf(node)]
+		if err := sh.installNode(node, s.remapNode(pn, st.EncKeys)); err != nil {
+			return err
+		}
+	}
+	for _, rec := range st.Pending {
+		if st.Quarantined[persist.QuarantineRecord{TimeNano: rec.TimeNano, Node: rec.Node, Key: rec.Key}.LedgerKey()] {
+			continue
+		}
+		s.replayEvent(rec)
+	}
+	return nil
+}
+
+// LoadHandoffFromDir reconstructs the portable state of a node range
+// from a DEAD instance's state directory — the takeover path when
+// there is no live source to run BeginHandoff. Strictly read-only:
+// newest valid snapshot filtered to the ranges, plus the WAL tail
+// (events, delivered-alert ledger, quarantines, and any handoffs the
+// dead instance itself had journaled), tolerating the torn tail a
+// SIGKILL leaves. Ranges covered by an UNRESOLVED outbound intent in
+// the dead WAL are excluded — their state may already live on the
+// intent's target, and a takeover must never create a second owner.
+func LoadHandoffFromDir(fsys faultfs.FS, dir string, ranges []persist.HashRange) (*HandoffState, error) {
+	if fsys == nil {
+		fsys = faultfs.OS()
+	}
+	store, err := persist.NewSnapshotStore(fsys, dir)
+	if err != nil {
+		return nil, fmt.Errorf("stream: takeover: %w", err)
+	}
+	var snap streamerSnapshot
+	boundary, ok, err := store.LoadLatest(&snap)
+	if err != nil {
+		return nil, fmt.Errorf("stream: takeover: state dir %q has no usable snapshot: %w", dir, err)
+	}
+	in := func(node string) bool { return persist.RangesContain(ranges, persist.NodeHash(node)) }
+	st := &HandoffState{
+		Nodes:       make(map[string]persistedNode),
+		Ledger:      make(map[string]int),
+		Quarantined: make(map[string]bool),
+	}
+	if ok {
+		st.EncKeys = snap.EncKeys
+		for node, pn := range snap.Nodes {
+			if in(node) {
+				st.Nodes[node] = pn
+			}
+		}
+	}
+	var pendingBegins []persist.HandoffRecord
+	_, err = persist.ReplayWAL(fsys, dir, boundary, func(_ uint64, payload []byte) error {
+		if len(payload) == 0 {
+			return persist.ErrCorrupt
+		}
+		switch payload[0] {
+		case persist.RecEvent:
+			rec, err := persist.DecodeEvent(payload[1:])
+			if err != nil {
+				return err
+			}
+			if in(rec.Node) {
+				st.Pending = append(st.Pending, rec)
+			}
+		case persist.RecAlert:
+			rec, err := persist.DecodeAlert(payload[1:])
+			if err != nil {
+				return err
+			}
+			if in(rec.Node) {
+				st.Ledger[rec.LedgerKey()]++
+			}
+		case persist.RecQuarantine:
+			rec, err := persist.DecodeQuarantine(payload[1:])
+			if err != nil {
+				return err
+			}
+			if in(rec.Node) {
+				st.Quarantined[rec.LedgerKey()] = true
+			}
+		case persist.RecHandoffIn:
+			rec, err := persist.DecodeHandoff(payload[1:])
+			if err != nil {
+				return err
+			}
+			var nested HandoffState
+			if err := persist.DecodeSnapshot(rec.State, &nested); err != nil {
+				return err
+			}
+			mergeTakenOver(st, &nested, in)
+		case persist.RecHandoffBegin:
+			rec, err := persist.DecodeHandoff(payload[1:])
+			if err != nil {
+				return err
+			}
+			pendingBegins = append(pendingBegins, rec)
+		case persist.RecHandoffOut:
+			rec, err := persist.DecodeHandoff(payload[1:])
+			if err != nil {
+				return err
+			}
+			pendingBegins = resolveBegin(pendingBegins, rec.Epoch)
+			removeRanges(st, rec.Ranges)
+		case persist.RecHandoffAbort:
+			rec, err := persist.DecodeHandoff(payload[1:])
+			if err != nil {
+				return err
+			}
+			pendingBegins = resolveBegin(pendingBegins, rec.Epoch)
+		}
+		// RecSwap is deliberately ignored: takeover replays the tail on
+		// the surviving instance's model (the cluster assumes a uniform
+		// fleet model; see DESIGN §15).
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("stream: takeover: wal: %w", err)
+	}
+	for _, b := range pendingBegins {
+		removeRanges(st, b.Ranges)
+	}
+	return st, nil
+}
+
+// mergeTakenOver folds a nested imported state (one the dead instance
+// had itself imported) into the takeover state: phrase ids translate
+// from the nested table into the outer one, extending it as needed.
+func mergeTakenOver(st *HandoffState, nested *HandoffState, in func(string) bool) {
+	lookup := make(map[string]int, len(st.EncKeys))
+	for i, k := range st.EncKeys {
+		lookup[k] = i
+	}
+	idFor := func(key string) int {
+		if id, ok := lookup[key]; ok {
+			return id
+		}
+		st.EncKeys = append(st.EncKeys, key)
+		lookup[key] = len(st.EncKeys) - 1
+		return len(st.EncKeys) - 1
+	}
+	for node, pn := range nested.Nodes {
+		if !in(node) {
+			continue
+		}
+		open := make([]logparse.EncodedEvent, len(pn.Tracker.Open))
+		for i, ev := range pn.Tracker.Open {
+			ev.ID = idFor(ev.Key)
+			open[i] = ev
+		}
+		pn.Tracker.Open = open
+		reorder := make([]logparse.EncodedEvent, len(pn.Reorder))
+		for i, ev := range pn.Reorder {
+			ev.ID = idFor(ev.Key)
+			reorder[i] = ev
+		}
+		pn.Reorder = reorder
+		dedup := make([]dedupEntry, 0, len(pn.Dedup))
+		for _, e := range pn.Dedup {
+			if e.ID < 0 || e.ID >= len(nested.EncKeys) {
+				continue
+			}
+			e.ID = idFor(nested.EncKeys[e.ID])
+			dedup = append(dedup, e)
+		}
+		pn.Dedup = dedup
+		if pn.DedupPos >= len(dedup) {
+			pn.DedupPos = 0
+		}
+		// The imported copy is newer than anything the snapshot held for
+		// the node (the node just moved in); it wins.
+		st.Nodes[node] = pn
+	}
+	for _, rec := range nested.Pending {
+		if in(rec.Node) {
+			st.Pending = append(st.Pending, rec)
+		}
+	}
+	for k, n := range nested.Ledger {
+		st.Ledger[k] += n
+	}
+	for k := range nested.Quarantined {
+		st.Quarantined[k] = true
+	}
+}
+
+// resolveBegin drops pending Begin intents the given epoch resolves.
+func resolveBegin(begins []persist.HandoffRecord, epoch uint64) []persist.HandoffRecord {
+	out := begins[:0]
+	for _, b := range begins {
+		if b.Epoch != epoch {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// removeRanges deletes nodes and pending events inside the ranges —
+// they moved (or may have moved) to another owner.
+func removeRanges(st *HandoffState, ranges []persist.HashRange) {
+	for node := range st.Nodes {
+		if persist.RangesContain(ranges, persist.NodeHash(node)) {
+			delete(st.Nodes, node)
+		}
+	}
+	kept := st.Pending[:0]
+	for _, rec := range st.Pending {
+		if !persist.RangesContain(ranges, persist.NodeHash(rec.Node)) {
+			kept = append(kept, rec)
+		}
+	}
+	st.Pending = kept
+}

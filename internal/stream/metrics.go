@@ -234,6 +234,21 @@ type Metrics struct {
 	Swaps      atomic.Int64
 	SwapErrors atomic.Int64
 
+	// Cluster handoff counters (PR 8).
+
+	// HandoffsStarted counts outbound handoffs that journaled their
+	// Begin intent and captured state; HandoffsCompleted and
+	// HandoffsAborted count their resolutions.
+	HandoffsStarted   atomic.Int64
+	HandoffsCompleted atomic.Int64
+	HandoffsAborted   atomic.Int64
+	// HandoffImports counts inbound handoffs committed via RecHandoffIn.
+	HandoffImports atomic.Int64
+	// HandoffNodesIn / HandoffNodesOut count node states installed by
+	// imports and dropped by completed outbound handoffs.
+	HandoffNodesIn  atomic.Int64
+	HandoffNodesOut atomic.Int64
+
 	// Detect is the end-to-end per-event detect latency, measured
 	// enqueue→verdict: queue wait + chain tracking + (possibly batched)
 	// scoring. Exactly one observation per event a shard dequeues.
@@ -299,7 +314,14 @@ type MetricsSnapshot struct {
 	ShadowRejected  int64   `json:"shadow_rejected"`
 	Swaps           int64   `json:"swaps"`
 	SwapErrors      int64   `json:"swap_errors"`
-	QueueDepths     []int   `json:"queue_depths"`
+	// Cluster handoff counters (PR 8).
+	HandoffsStarted   int64 `json:"handoffs_started"`
+	HandoffsCompleted int64 `json:"handoffs_completed"`
+	HandoffsAborted   int64 `json:"handoffs_aborted"`
+	HandoffImports    int64 `json:"handoff_imports"`
+	HandoffNodesIn    int64 `json:"handoff_nodes_in"`
+	HandoffNodesOut   int64 `json:"handoff_nodes_out"`
+	QueueDepths       []int `json:"queue_depths"`
 	// Watermarks is each shard's event-time watermark in unix
 	// nanoseconds (0 until the shard has seen an event).
 	Watermarks []int64           `json:"watermarks"`

@@ -232,6 +232,18 @@ func (s *Streamer) recover() error {
 				return err
 			}
 			return s.replaySwap(rec.ModelFile)
+		case persist.RecHandoffBegin, persist.RecHandoffIn, persist.RecHandoffOut, persist.RecHandoffAbort:
+			// Re-apply the handoff protocol at its exact WAL positions: an
+			// In installs the imported range here, an Out drops the
+			// outbound one, and a Begin with no later resolution leaves
+			// the intent pending for the cluster layer.
+			return s.replayHandoff(payload[0], payload[1:])
+		case persist.RecEpoch:
+			rec, err := persist.DecodeEpoch(payload[1:])
+			if err != nil {
+				return err
+			}
+			s.recEpoch = &rec
 		}
 		return nil
 	})
@@ -256,53 +268,71 @@ func (s *Streamer) restoreSnapshot(snap streamerSnapshot) error {
 	for _, k := range snap.EncKeys[n:] {
 		s.enc.Encode(k)
 	}
-	cfg := s.p.Config().ChainCfg
-	now := time.Now()
 	for node, pn := range snap.Nodes {
-		tr, err := chain.NewTracker(node, s.lab, cfg, s.opts.MaxOpenWindow)
-		if err != nil {
-			return fmt.Errorf("stream: restore %s: %w", node, err)
+		if err := s.shards[s.shardOf(node)].installNode(node, pn); err != nil {
+			return err
 		}
-		// A restored window longer than the current MaxOpenWindow
-		// shrinks lazily as new events evict from the front.
-		tr.Restore(pn.Tracker)
-		ns := &nodeState{
-			tracker:     tr,
-			lastArrival: now,
-			alerted:     pn.Alerted,
-			lastAlertAt: pn.LastAlertAt,
-			openAlerted: pn.OpenAlerted,
-			evicted:     pn.Tracker.Dropped,
-		}
-		ns.lateClamped = pn.Tracker.Late
-		if tr.OpenLen() > 0 {
-			ns.wasOpen = true
-			s.met.ChainsOpen.Add(1)
-		}
-		sh := s.shards[s.shardOf(node)]
-		if s.et != nil {
-			ns.et = restoredNodeET(pn)
-			sh.pending.Add(int64(ns.et.heap.len()))
-			if ts := ns.et.maxSeen.UnixNano(); ns.et.heap.len() > 0 || !ns.et.maxSeen.IsZero() {
-				if ts > sh.wmNano.Load() {
-					sh.wmNano.Store(ts)
-				}
-			}
-		} else if len(pn.Reorder) > 0 {
-			// The snapshot was taken with reordering on and the streamer
-			// restarted with it off: feed the buffered tail straight to
-			// the tracker (restore is single-threaded, so this is safe).
-			// Alerts it raises may duplicate pre-crash ones; the quiet
-			// period bounds that.
-			for _, ev := range pn.Reorder {
-				sh.feed(ns, ev)
-			}
-			// feed defers closed-chain judging; score them now, while the
-			// node's restore is still the only activity on the shard.
-			sh.flushPending()
-		}
-		sh.nodes[node] = ns
 	}
+	return nil
+}
+
+// installNode builds a nodeState from pn and installs it on this
+// shard, adjusting the shared gauges; an existing state for the node
+// is replaced, its gauge contributions unwound first. Called
+// single-threaded during boot restore, or on the shard goroutine
+// inside a handoff import barrier.
+func (sh *shard) installNode(node string, pn persistedNode) error {
+	s := sh.s
+	if old, ok := sh.nodes[node]; ok {
+		if old.wasOpen {
+			s.met.ChainsOpen.Add(-1)
+		}
+		if old.et != nil {
+			sh.pending.Add(-int64(old.et.heap.len()))
+		}
+		delete(sh.nodes, node)
+	}
+	tr, err := chain.NewTracker(node, s.lab, s.p.Config().ChainCfg, s.opts.MaxOpenWindow)
+	if err != nil {
+		return fmt.Errorf("stream: restore %s: %w", node, err)
+	}
+	// A restored window longer than the current MaxOpenWindow
+	// shrinks lazily as new events evict from the front.
+	tr.Restore(pn.Tracker)
+	ns := &nodeState{
+		tracker:     tr,
+		lastArrival: time.Now(),
+		alerted:     pn.Alerted,
+		lastAlertAt: pn.LastAlertAt,
+		openAlerted: pn.OpenAlerted,
+		evicted:     pn.Tracker.Dropped,
+	}
+	ns.lateClamped = pn.Tracker.Late
+	if tr.OpenLen() > 0 {
+		ns.wasOpen = true
+		s.met.ChainsOpen.Add(1)
+	}
+	if s.et != nil {
+		ns.et = restoredNodeET(pn)
+		sh.pending.Add(int64(ns.et.heap.len()))
+		if ts := ns.et.maxSeen.UnixNano(); ns.et.heap.len() > 0 || !ns.et.maxSeen.IsZero() {
+			if ts > sh.wmNano.Load() {
+				sh.wmNano.Store(ts)
+			}
+		}
+	} else if len(pn.Reorder) > 0 {
+		// The state was taken with reordering on and this streamer runs
+		// with it off: feed the buffered tail straight to the tracker.
+		// Alerts it raises may duplicate already-delivered ones; the
+		// quiet period bounds that.
+		for _, ev := range pn.Reorder {
+			sh.feed(ns, ev)
+		}
+		// feed defers closed-chain judging; score them now, while the
+		// node's install is still the only activity on the shard.
+		sh.flushPending()
+	}
+	sh.nodes[node] = ns
 	return nil
 }
 
@@ -458,6 +488,10 @@ func (p *persister) closeAbrupt() {
 // flushed, no final snapshot is taken. Everything the process would
 // have lost, this loses; everything the WAL made durable survives for
 // the next New to recover.
+// Kill is the exported crash seam: cluster kill-equivalence tests use
+// it to SIGKILL one in-process instance mid-run.
+func (s *Streamer) Kill() { s.crash() }
+
 func (s *Streamer) crash() {
 	s.mu.Lock()
 	if s.closed {

@@ -31,7 +31,9 @@ import (
 	"desh/internal/core"
 	"desh/internal/label"
 	"desh/internal/logparse"
+	"desh/internal/persist"
 	"desh/internal/persist/faultfs"
+	"desh/internal/retry"
 )
 
 // ErrClosed is returned by ingest entry points after Close.
@@ -386,6 +388,14 @@ type Streamer struct {
 	activeFile string
 	swapMu     sync.Mutex
 
+	// Cluster handoff state (guarded by mu). handoff is the outbound
+	// intent between its two commit points; frozen rejects ingest for
+	// ranges mid-handoff; recEpoch is the newest ownership record boot
+	// replay surfaced.
+	handoff  *handoffIntent
+	frozen   []persist.HashRange
+	recEpoch *persist.EpochRecord
+
 	mu     sync.RWMutex // guards closed against in-flight ingests
 	closed bool
 	done   chan struct{}
@@ -525,49 +535,55 @@ func (s *Streamer) Metrics() *Metrics { return &s.met }
 // SnapshotMetrics captures the counters plus per-shard queue depths.
 func (s *Streamer) SnapshotMetrics() MetricsSnapshot {
 	snap := MetricsSnapshot{
-		Ingested:         s.met.Ingested.Load(),
-		Malformed:        s.met.Malformed.Load(),
-		SafeFiltered:     s.met.SafeFiltered.Load(),
-		Dropped:          s.met.Dropped.Load(),
-		ChainsOpen:       s.met.ChainsOpen.Load(),
-		ChainsClosed:     s.met.ChainsClosed.Load(),
-		WindowEvicted:    s.met.WindowEvicted.Load(),
-		AlertsFired:      s.met.AlertsFired.Load(),
-		AlertsSuppressed: s.met.AlertsSuppressed.Load(),
-		AlertsDropped:    s.met.AlertsDropped.Load(),
-		Processed:        s.met.Processed.Load(),
-		Oversized:        s.met.Oversized.Load(),
-		Quarantined:      s.met.Quarantined.Load(),
-		ShardRestarts:    s.met.ShardRestarts.Load(),
-		Snapshots:        s.met.Snapshots.Load(),
-		SnapshotErrors:   s.met.SnapshotErrors.Load(),
-		WALErrors:        s.met.WALErrors.Load(),
-		ReplayedEvents:   s.met.ReplayedEvents.Load(),
-		ReplaySuppressed: s.met.ReplaySuppressed.Load(),
-		ConnRejected:     s.met.ConnRejected.Load(),
-		UnseenPhrases:    s.met.UnseenPhrases.Load(),
-		Verdicts:         s.met.Verdicts.Load(),
-		DriftScore:       float64(s.met.DriftScoreMilli.Load()) / 1000,
-		Retrains:         s.met.Retrains.Load(),
-		RetrainFailures:  s.met.RetrainFailures.Load(),
-		ShadowScored:     s.met.ShadowScored.Load(),
-		ShadowDropped:    s.met.ShadowDropped.Load(),
-		ShadowAccepted:   s.met.ShadowAccepted.Load(),
-		ShadowRejected:   s.met.ShadowRejected.Load(),
-		Swaps:            s.met.Swaps.Load(),
-		SwapErrors:       s.met.SwapErrors.Load(),
-		Late:             s.met.Late.Load(),
-		LateDropped:      s.met.LateDropped.Load(),
-		LateClamped:      s.met.LateClamped.Load(),
-		Duplicates:       s.met.Duplicates.Load(),
-		SkewQuarantined:  s.met.SkewQuarantined.Load(),
-		Shed:             s.met.Shed.Load(),
-		ShedLevel:        s.met.ShedLevel.Load(),
-		ShedLevelMax:     s.met.ShedLevelMax.Load(),
-		ReorderOverflow:  s.met.ReorderOverflow.Load(),
-		BatchWakeups:     s.met.BatchWakeups.Load(),
-		BatchedDetects:   s.met.BatchedDetects.Load(),
-		Detect:           s.met.Detect.Snapshot(),
+		Ingested:          s.met.Ingested.Load(),
+		Malformed:         s.met.Malformed.Load(),
+		SafeFiltered:      s.met.SafeFiltered.Load(),
+		Dropped:           s.met.Dropped.Load(),
+		ChainsOpen:        s.met.ChainsOpen.Load(),
+		ChainsClosed:      s.met.ChainsClosed.Load(),
+		WindowEvicted:     s.met.WindowEvicted.Load(),
+		AlertsFired:       s.met.AlertsFired.Load(),
+		AlertsSuppressed:  s.met.AlertsSuppressed.Load(),
+		AlertsDropped:     s.met.AlertsDropped.Load(),
+		Processed:         s.met.Processed.Load(),
+		Oversized:         s.met.Oversized.Load(),
+		Quarantined:       s.met.Quarantined.Load(),
+		ShardRestarts:     s.met.ShardRestarts.Load(),
+		Snapshots:         s.met.Snapshots.Load(),
+		SnapshotErrors:    s.met.SnapshotErrors.Load(),
+		WALErrors:         s.met.WALErrors.Load(),
+		ReplayedEvents:    s.met.ReplayedEvents.Load(),
+		ReplaySuppressed:  s.met.ReplaySuppressed.Load(),
+		ConnRejected:      s.met.ConnRejected.Load(),
+		UnseenPhrases:     s.met.UnseenPhrases.Load(),
+		Verdicts:          s.met.Verdicts.Load(),
+		DriftScore:        float64(s.met.DriftScoreMilli.Load()) / 1000,
+		Retrains:          s.met.Retrains.Load(),
+		RetrainFailures:   s.met.RetrainFailures.Load(),
+		ShadowScored:      s.met.ShadowScored.Load(),
+		ShadowDropped:     s.met.ShadowDropped.Load(),
+		ShadowAccepted:    s.met.ShadowAccepted.Load(),
+		ShadowRejected:    s.met.ShadowRejected.Load(),
+		Swaps:             s.met.Swaps.Load(),
+		SwapErrors:        s.met.SwapErrors.Load(),
+		HandoffsStarted:   s.met.HandoffsStarted.Load(),
+		HandoffsCompleted: s.met.HandoffsCompleted.Load(),
+		HandoffsAborted:   s.met.HandoffsAborted.Load(),
+		HandoffImports:    s.met.HandoffImports.Load(),
+		HandoffNodesIn:    s.met.HandoffNodesIn.Load(),
+		HandoffNodesOut:   s.met.HandoffNodesOut.Load(),
+		Late:              s.met.Late.Load(),
+		LateDropped:       s.met.LateDropped.Load(),
+		LateClamped:       s.met.LateClamped.Load(),
+		Duplicates:        s.met.Duplicates.Load(),
+		SkewQuarantined:   s.met.SkewQuarantined.Load(),
+		Shed:              s.met.Shed.Load(),
+		ShedLevel:         s.met.ShedLevel.Load(),
+		ShedLevelMax:      s.met.ShedLevelMax.Load(),
+		ReorderOverflow:   s.met.ReorderOverflow.Load(),
+		BatchWakeups:      s.met.BatchWakeups.Load(),
+		BatchedDetects:    s.met.BatchedDetects.Load(),
+		Detect:            s.met.Detect.Snapshot(),
 	}
 	if snap.BatchWakeups > 0 {
 		snap.BatchOccupancy = float64(s.met.BatchEvents.Load()) / float64(snap.BatchWakeups)
@@ -621,6 +637,12 @@ func (s *Streamer) IngestEvent(ev logparse.Event) error {
 	defer s.mu.RUnlock()
 	if s.closed {
 		return ErrClosed
+	}
+	// A range frozen mid-handoff rejects before anything is counted or
+	// journaled: the router respools the event for the new owner, so
+	// accepting it here would double-deliver.
+	if fr := s.frozen; len(fr) > 0 && persist.RangesContain(fr, persist.NodeHash(ev.Node)) {
+		return ErrFrozen
 	}
 	s.met.Ingested.Add(1)
 	// The §3.1 Safe filter runs before the queue so bursts of benign
@@ -814,6 +836,17 @@ type shardMsg struct {
 	// event ahead of the barrier scores on the old model and every one
 	// behind it on the new — the same FIFO argument snapshots use.
 	swap *swapBarrier
+	// drop and imp are handoff barriers: drop deletes an outbound
+	// range's state at its queue position (CompleteHandoff), imp
+	// installs an inbound range and replays its pending tail
+	// (ImportState). Same FIFO discipline as snap and swap.
+	drop *dropBarrier
+	imp  *importBarrier
+}
+
+// isCtl reports whether m is a control barrier rather than an event.
+func isCtl(m shardMsg) bool {
+	return m.snap != nil || m.swap != nil || m.drop != nil || m.imp != nil
 }
 
 // shard owns a partition of the node space: its goroutine is the only
@@ -856,6 +889,11 @@ type shard struct {
 	pendTries int
 	chbuf     []chain.Chain
 	verd      []core.Verdict
+
+	// imp is non-nil only while this shard replays an imported range's
+	// pending tail inside an import barrier: emit consults its shared
+	// ledger to suppress alerts the handoff source already delivered.
+	imp *importBarrier
 }
 
 // pendChain is one closed chain awaiting batched scoring, paired with
@@ -929,18 +967,14 @@ func (sh *shard) runLoop() (panicked bool) {
 // then every drained event runs through the tracker with closed-chain
 // judging deferred, and the deferred chains score as one batched pass.
 func (sh *shard) dispatch(m shardMsg) {
-	if m.snap != nil {
-		m.snap <- sh.capture()
-		return
-	}
-	if m.swap != nil {
-		sh.applySwap(m.swap)
+	if isCtl(m) {
+		sh.applyCtl(m)
 		return
 	}
 	sh.buf = append(sh.buf[:0], m)
 	sh.bufNext = 0
-	var barrier chan<- map[string]persistedNode
-	var swap *swapBarrier
+	var ctl shardMsg
+	var hasCtl bool
 drain:
 	for len(sh.buf) < sh.s.opts.MicroBatch {
 		select {
@@ -955,16 +989,10 @@ drain:
 				sh.buf = sh.buf[:0]
 				return
 			}
-			if m2.snap != nil {
+			if isCtl(m2) {
 				// A barrier must observe every event ahead of it in the
 				// queue, so it is answered after the batch flushes.
-				barrier = m2.snap
-				break drain
-			}
-			if m2.swap != nil {
-				// Same FIFO discipline as the snapshot barrier: the
-				// drained events scored on the old detector first.
-				swap = m2.swap
+				ctl, hasCtl = m2, true
 				break drain
 			}
 			sh.buf = append(sh.buf, m2)
@@ -973,11 +1001,22 @@ drain:
 		}
 	}
 	sh.processBatch()
-	if barrier != nil {
-		barrier <- sh.capture()
+	if hasCtl {
+		sh.applyCtl(ctl)
 	}
-	if swap != nil {
-		sh.applySwap(swap)
+}
+
+// applyCtl answers one control barrier on the shard goroutine.
+func (sh *shard) applyCtl(m shardMsg) {
+	switch {
+	case m.snap != nil:
+		m.snap <- sh.capture()
+	case m.swap != nil:
+		sh.applySwap(m.swap)
+	case m.drop != nil:
+		sh.applyDrop(m.drop)
+	case m.imp != nil:
+		sh.applyImport(m.imp)
 	}
 }
 
@@ -1052,21 +1091,20 @@ func (sh *shard) notePanic() {
 	sh.retry = true
 }
 
-// backoff sleeps before a restart: base * 2^(restarts-1), jittered
-// ±50%, capped at 1s, and cut short by shutdown.
+// backoff sleeps before a restart — capped exponential backoff with
+// full jitter via the shared retry policy, cut short by shutdown. The
+// shard keeps its own seeded source so restart timing stays
+// deterministic per shard under test.
 func (sh *shard) backoff() {
 	if sh.rng == nil {
 		sh.rng = rand.New(rand.NewSource(int64(sh.id)*7919 + 1))
 	}
-	d := sh.s.opts.RestartBackoff << (sh.restarts - 1)
-	if max := time.Second; d > max || d <= 0 {
-		d = time.Second
+	p := retry.Policy{
+		Base: sh.s.opts.RestartBackoff,
+		Max:  time.Second,
+		Rand: sh.rng.Int63n,
 	}
-	d = d/2 + time.Duration(sh.rng.Int63n(int64(d)))
-	select {
-	case <-time.After(d):
-	case <-sh.s.done:
-	}
+	p.Wait(sh.s.done, sh.restarts-1)
 }
 
 // nodeState is one node's streaming state: its incremental chain
@@ -1301,6 +1339,13 @@ func (sh *shard) emit(ns *nodeState, a Alert) {
 	ns.alerted = true
 	ns.lastAlertAt = a.FlaggedAt
 	if sh.s.replaying && sh.s.pst != nil && sh.s.pst.ledgerTake(a) {
+		sh.s.met.ReplaySuppressed.Add(1)
+		return
+	}
+	// Inside an import barrier the shipped ledger plays the same role:
+	// alerts the handoff source already delivered for the imported
+	// range's pending tail are consumed, not re-fired.
+	if sh.imp != nil && sh.imp.led.take(a) {
 		sh.s.met.ReplaySuppressed.Add(1)
 		return
 	}
