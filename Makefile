@@ -20,7 +20,7 @@ vet:
 # (router + instances + retry) that coordinates shard handoff across
 # processes.
 race:
-	GOMAXPROCS=4 $(GO) test -race ./internal/core/... ./internal/embed/... ./internal/nn/... ./internal/par/... ./internal/stream/... ./internal/chain/... ./internal/persist/... ./internal/adapt/... ./internal/cluster/... ./internal/retry/...
+	GOMAXPROCS=4 $(GO) test -race ./internal/core/... ./internal/embed/... ./internal/nn/... ./internal/par/... ./internal/stream/... ./internal/chain/... ./internal/persist/... ./internal/adapt/... ./internal/cluster/... ./internal/retry/... ./internal/chaos/...
 
 # verify is the tier-1 gate: build + full tests, plus vet and the race
 # detector over the concurrent packages.

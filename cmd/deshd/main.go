@@ -160,6 +160,12 @@ func run() error {
 		if epoch, ranges := inst.Ownership(); epoch > 0 {
 			fmt.Fprintf(os.Stderr, "deshd: recovered cluster ownership: epoch %d, %d range(s)\n", epoch, len(ranges))
 		}
+		if lease, ok := s.RecoveredLease(); ok && lease.Holder != "" {
+			fmt.Fprintf(os.Stderr, "deshd: recovered coordinator lease: holder %q, fencing gen %d\n", lease.Holder, lease.Gen)
+		}
+		if view, ok := s.RecoveredView(); ok {
+			fmt.Fprintf(os.Stderr, "deshd: recovered membership view: epoch %d, %d member(s)\n", view.Epoch, len(view.Members))
+		}
 	}
 	if replayed := s.SnapshotMetrics().ReplayedEvents; replayed > 0 {
 		fmt.Fprintf(os.Stderr, "deshd: recovered %d events from the WAL tail\n", replayed)

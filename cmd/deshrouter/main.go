@@ -18,7 +18,16 @@
 // instance dies. GET /metrics returns the aggregated fleet view (router
 // counters, per-instance snapshots, cross-fleet totals), GET
 // /cluster/status the ring and per-peer health, GET /healthz liveness.
-// SIGINT/SIGTERM flush the spill WAL and in-flight batches before exit.
+// SIGINT/SIGTERM flush the spill WAL and in-flight batches before exit;
+// a second signal forces immediate exit without flushing.
+//
+// Passing -name enables replicated operation: several deshrouters with
+// distinct names may front the same fleet. They elect one coordinator
+// by quorum lease over the instances (lowest name wins, -lease-ttl
+// bounds failover time); only the coordinator runs ejection, readmission
+// and takeover orchestration, and only it accepts POST
+// /cluster/rebalance (add/drain/remove of members at runtime). The
+// others keep forwarding and spilling and stand by to take over.
 package main
 
 import (
@@ -80,6 +89,8 @@ func run() error {
 	drainEvery := flag.Duration("drain-interval", 250*time.Millisecond, "spill WAL redelivery period")
 	batchMax := flag.Int("batch-max", 256, "max lines per forwarded batch")
 	sendQueue := flag.Int("send-queue", 4096, "per-peer in-memory send queue; overflow spills")
+	name := flag.String("name", "", "router name; enables coordinator election for replicated routers")
+	leaseTTL := flag.Duration("lease-ttl", 2*time.Second, "coordinator lease TTL (with -name); bounds failover time")
 	flushTimeout := flag.Duration("flush-timeout", 10*time.Second, "shutdown bound on delivering queued and spilled lines")
 	showVersion := flag.Bool("version", false, "print version information and exit")
 	flag.Parse()
@@ -106,6 +117,8 @@ func run() error {
 		DrainInterval:    *drainEvery,
 		BatchMax:         *batchMax,
 		SendQueue:        *sendQueue,
+		Name:             *name,
+		LeaseTTL:         *leaseTTL,
 		Diag: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "deshrouter: "+format+"\n", args...)
 		},
@@ -113,7 +126,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "deshrouter: routing for %d peer(s), spill in %s\n", len(peers), *spillDir)
+	if *name != "" {
+		fmt.Fprintf(os.Stderr, "deshrouter: %q routing for %d peer(s), spill in %s, lease TTL %v\n",
+			*name, len(peers), *spillDir, *leaseTTL)
+	} else {
+		fmt.Fprintf(os.Stderr, "deshrouter: routing for %d peer(s), spill in %s\n", len(peers), *spillDir)
+	}
 
 	ln, err := net.Listen("tcp", *httpAddr)
 	if err != nil {
@@ -131,7 +149,12 @@ func run() error {
 	sigC := make(chan os.Signal, 1)
 	signal.Notify(sigC, os.Interrupt, syscall.SIGTERM)
 	sig := <-sigC
-	fmt.Fprintf(os.Stderr, "deshrouter: %v, flushing\n", sig)
+	fmt.Fprintf(os.Stderr, "deshrouter: %v, flushing (signal again to force exit)\n", sig)
+	go func() {
+		sig2 := <-sigC
+		fmt.Fprintf(os.Stderr, "deshrouter: %v again, forcing exit without flush\n", sig2)
+		os.Exit(1)
+	}()
 
 	sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	_ = srv.Shutdown(sctx)
@@ -151,5 +174,12 @@ func run() error {
 		snap.Spilled, snap.Drained, snap.SpillErrors,
 		snap.Rebalances, snap.PeerUnhealthy, snap.Readmits,
 		snap.HandoffErrors, snap.TakeoverErrors)
+	if *name != "" {
+		role := "standby"
+		if snap.Coordinator {
+			role = "coordinator"
+		}
+		fmt.Fprintf(os.Stderr, "deshrouter: exited as %s after %d election round(s)\n", role, snap.Elections)
+	}
 	return nil
 }

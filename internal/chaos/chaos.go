@@ -1,0 +1,341 @@
+// Package chaos is the fault-injection soak harness for cluster mode.
+// It composes the kill seams the system already exposes — streamer
+// SIGKILL (process death without cleanup), router SIGKILL (a dead
+// coordinator mid-protocol), HTTP 503 outages (a live-but-partitioned
+// instance), and a per-router fault transport (a router partitioned
+// from a subset of its peers) — into reproducible disturbance
+// schedules. The invariant every soak asserts is the repo's north
+// star: the cluster's alert multiset under disturbance equals the
+// undisturbed single-process baseline.
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"desh/internal/cluster"
+	"desh/internal/core"
+	"desh/internal/persist"
+	"desh/internal/stream"
+)
+
+// FaultTransport is an http.RoundTripper that can cut one router off
+// from a chosen subset of hosts — an asymmetric network partition.
+// Blocked requests fail immediately (connection refused semantics),
+// so health probes and lease polls see the partition at once.
+type FaultTransport struct {
+	base    http.RoundTripper
+	mu      sync.Mutex
+	blocked map[string]bool
+}
+
+// NewFaultTransport wraps base (nil means http.DefaultTransport).
+func NewFaultTransport(base http.RoundTripper) *FaultTransport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &FaultTransport{base: base, blocked: make(map[string]bool)}
+}
+
+func hostOf(rawURL string) string {
+	if u, err := url.Parse(rawURL); err == nil && u.Host != "" {
+		return u.Host
+	}
+	return rawURL
+}
+
+// Block cuts the partition to the given base URL (or host:port).
+func (ft *FaultTransport) Block(rawURL string) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	ft.blocked[hostOf(rawURL)] = true
+}
+
+// Unblock heals the partition to the given base URL (or host:port).
+func (ft *FaultTransport) Unblock(rawURL string) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	delete(ft.blocked, hostOf(rawURL))
+}
+
+// RoundTrip implements http.RoundTripper.
+func (ft *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	ft.mu.Lock()
+	cut := ft.blocked[req.URL.Host]
+	ft.mu.Unlock()
+	if cut {
+		return nil, fmt.Errorf("chaos: partitioned from %s", req.URL.Host)
+	}
+	return ft.base.RoundTrip(req)
+}
+
+// Member is one in-process cluster instance under harness control:
+// a streamer with durable state, its HTTP listener, and the seams to
+// partition (503 every endpoint) or SIGKILL it.
+type Member struct {
+	Name string
+	Dir  string
+	Inst *cluster.Instance
+	Srv  *httptest.Server
+
+	down   atomic.Bool
+	alerts func() []stream.Alert
+	killed atomic.Bool
+}
+
+// SetDown toggles the 503-outage seam: the instance stays alive (its
+// state advances on nothing) but every endpoint refuses, so routers
+// see a dead peer.
+func (m *Member) SetDown(v bool) { m.down.Store(v) }
+
+// Kill SIGKILLs the member: the streamer dies where it stands (no
+// drain, no final snapshot — only its WAL and snapshots survive) and
+// the listener vanishes.
+func (m *Member) Kill() {
+	if m.killed.Swap(true) {
+		return
+	}
+	m.Inst.Streamer().Kill()
+	m.Srv.Close()
+}
+
+// Close shuts the member down gracefully and returns every alert it
+// fired. Safe after Kill (the alert channel is already closed).
+func (m *Member) Close() ([]stream.Alert, error) {
+	if !m.killed.Swap(true) {
+		if err := m.Inst.Streamer().Close(); err != nil {
+			return nil, err
+		}
+		m.Srv.Close()
+	}
+	return m.alerts(), nil
+}
+
+// Fleet is a set of members sharing one state-directory root, plus
+// the routers fronting them. NewRouter gives every router its own
+// FaultTransport so partitions are per-router, matching real networks.
+type Fleet struct {
+	Dir     string
+	Members []*Member
+
+	mu      sync.Mutex
+	routers map[string]*cluster.Router
+	faults  map[string]*FaultTransport
+}
+
+// PipelineFactory builds one trained pipeline per member; members
+// must not share one (each mutates its encoder).
+type PipelineFactory func() (*core.Pipeline, error)
+
+// ServingOptions is the stream configuration every soak uses:
+// order-independent equivalence (lateness window outlasting the run,
+// reorder depth holding any one node's events) plus durable state.
+func ServingOptions(depth int, dir string) []stream.Option {
+	opts := []stream.Option{
+		stream.WithShards(2),
+		stream.WithQuietPeriod(time.Minute),
+		stream.WithEarlyDetect(true),
+		stream.WithAlertBuffer(16384),
+		stream.WithSnapshotEvery(time.Hour),
+		stream.WithAllowedLateness(1000 * time.Hour),
+		stream.WithReorderDepth(depth),
+		stream.WithDedupWindow(512),
+	}
+	if dir != "" {
+		opts = append(opts, stream.WithStateDir(dir))
+	}
+	return opts
+}
+
+// NewFleet builds the named members under dir, each with its own
+// pipeline, durable state directory, and HTTP listener.
+func NewFleet(dir string, depth int, factory PipelineFactory, names ...string) (*Fleet, error) {
+	f := &Fleet{Dir: dir, routers: make(map[string]*cluster.Router), faults: make(map[string]*FaultTransport)}
+	for _, name := range names {
+		m, err := f.newMember(name, depth, factory)
+		if err != nil {
+			return nil, err
+		}
+		f.Members = append(f.Members, m)
+	}
+	return f, nil
+}
+
+func (f *Fleet) newMember(name string, depth int, factory PipelineFactory) (*Member, error) {
+	p, err := factory()
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Join(f.Dir, name)
+	s, err := stream.New(p, ServingOptions(depth, dir)...)
+	if err != nil {
+		return nil, err
+	}
+	m := &Member{Name: name, Dir: dir}
+	done := make(chan []stream.Alert, 1)
+	go func() {
+		var alerts []stream.Alert
+		for a := range s.Alerts() {
+			alerts = append(alerts, a)
+		}
+		done <- alerts
+	}()
+	m.alerts = func() []stream.Alert { return <-done }
+	m.Inst = cluster.NewInstance(name, s, nil)
+	inner := m.Inst.Handler()
+	m.Srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if m.down.Load() {
+			http.Error(w, "chaos: partitioned", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	return m, nil
+}
+
+// AddMember builds one more member (not in any router's initial peer
+// set) — the joining side of a planned "add" rebalance.
+func (f *Fleet) AddMember(name string, depth int, factory PipelineFactory) (*Member, error) {
+	m, err := f.newMember(name, depth, factory)
+	if err != nil {
+		return nil, err
+	}
+	f.Members = append(f.Members, m)
+	return m, nil
+}
+
+// Peers returns the current members as a router peer list.
+func (f *Fleet) Peers() []cluster.Peer {
+	peers := make([]cluster.Peer, len(f.Members))
+	for i, m := range f.Members {
+		peers[i] = cluster.Peer{Name: m.Name, URL: m.Srv.URL, Dir: m.Dir}
+	}
+	return peers
+}
+
+// Member returns the named member (nil if unknown).
+func (f *Fleet) Member(name string) *Member {
+	for _, m := range f.Members {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// NewRouter starts a replicated router named name against the fleet's
+// current members, with its own FaultTransport and the given lease
+// TTL and chaos hook. Aggressive probe/drain intervals keep soak
+// runtimes short.
+func (f *Fleet) NewRouter(name string, ttl time.Duration, hook func(step string)) (*cluster.Router, error) {
+	ft := NewFaultTransport(nil)
+	r, err := cluster.NewRouter(cluster.RouterConfig{
+		Peers:             f.Peers(),
+		SpillDir:          filepath.Join(f.Dir, "spill-"+name),
+		HealthInterval:    15 * time.Millisecond,
+		HealthTimeout:     250 * time.Millisecond,
+		FailThreshold:     3,
+		ReadmitThreshold:  3,
+		DrainInterval:     15 * time.Millisecond,
+		BatchMax:          64,
+		Name:              name,
+		LeaseTTL:          ttl,
+		Transport:         ft,
+		HookRebalanceStep: hook,
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.routers[name] = r
+	f.faults[name] = ft
+	f.mu.Unlock()
+	return r, nil
+}
+
+// Fault returns the named router's fault transport.
+func (f *Fleet) Fault(router string) *FaultTransport {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.faults[router]
+}
+
+// AlertMultiset keys alerts by their ledger identity — the same
+// dedup key the persistence layer uses — counting multiplicity.
+func AlertMultiset(alerts []stream.Alert) map[string]int {
+	m := make(map[string]int, len(alerts))
+	for _, a := range alerts {
+		m[persist.AlertRecord{
+			Node:        a.Node,
+			FlaggedNano: a.FlaggedAt.UnixNano(),
+			LeadBits:    math.Float64bits(a.LeadSeconds),
+			MSEBits:     math.Float64bits(a.MSE),
+			Provisional: a.Provisional,
+		}.LedgerKey()]++
+	}
+	return m
+}
+
+// Baseline runs the undisturbed single-process reference: one
+// streamer, every line in order, and returns its alert multiset.
+func Baseline(factory PipelineFactory, lines []string, depth int) (map[string]int, error) {
+	p, err := factory()
+	if err != nil {
+		return nil, err
+	}
+	s, err := stream.New(p, ServingOptions(depth, "")...)
+	if err != nil {
+		return nil, err
+	}
+	done := make(chan []stream.Alert, 1)
+	go func() {
+		var alerts []stream.Alert
+		for a := range s.Alerts() {
+			alerts = append(alerts, a)
+		}
+		done <- alerts
+	}()
+	for _, line := range lines {
+		if err := s.IngestLine(line); err != nil {
+			return nil, err
+		}
+	}
+	if err := s.Close(); err != nil {
+		return nil, err
+	}
+	return AlertMultiset(<-done), nil
+}
+
+// OwnershipPartition verifies that the live members' durable
+// ownership at the newest epoch is a partition of the hash circle:
+// sampled points each owned by exactly one member — never two owners,
+// never zero. Returns the newest epoch checked.
+func OwnershipPartition(members []*Member) (uint64, error) {
+	newest := uint64(0)
+	for _, m := range members {
+		if e, _ := m.Inst.Ownership(); e > newest {
+			newest = e
+		}
+	}
+	for probe := 0; probe < 4096; probe++ {
+		h := uint32(probe) * 1048573
+		owners := 0
+		for _, m := range members {
+			e, ranges := m.Inst.Ownership()
+			if e == newest && persist.RangesContain(ranges, h) {
+				owners++
+			}
+		}
+		if owners != 1 {
+			return newest, fmt.Errorf("chaos: hash %d has %d owners at epoch %d (want exactly 1)", h, owners, newest)
+		}
+	}
+	return newest, nil
+}

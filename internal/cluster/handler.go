@@ -42,6 +42,7 @@ type clusterMetrics struct {
 type peerStatus struct {
 	Name    string              `json:"name"`
 	URL     string              `json:"url"`
+	State   string              `json:"state"`
 	Healthy bool                `json:"healthy"`
 	InRing  bool                `json:"in_ring"`
 	Ranges  []persist.HashRange `json:"ranges"`
@@ -49,16 +50,40 @@ type peerStatus struct {
 
 // Handler returns the router's HTTP surface: POST /ingest (raw lines,
 // routed to owners), GET /metrics (aggregated fleet view), GET
-// /cluster/status (ring membership and health), GET /healthz.
+// /cluster/status (ring membership and health), POST/GET
+// /cluster/rebalance (administrative membership changes, coordinator
+// only), GET /healthz.
 func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/ingest", r.handleIngest)
 	mux.HandleFunc("/metrics", r.handleMetrics)
 	mux.HandleFunc("/cluster/status", r.handleStatus)
+	mux.HandleFunc("/cluster/rebalance", r.handleRebalance)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
 		fmt.Fprintln(w, `{"status":"ok"}`)
 	})
 	return mux
+}
+
+// handleRebalance: POST starts an administrative membership change
+// (202 with the initial status; 409 when not the coordinator or one is
+// already running), GET reports progress of the running or last one.
+func (r *Router) handleRebalance(w http.ResponseWriter, req *http.Request) {
+	if req.Method == http.MethodGet {
+		writeJSON(w, r.RebalanceStatus())
+		return
+	}
+	var rb RebalanceRequest
+	if !readJSON(w, req, &rb, maxControlBody) {
+		return
+	}
+	if err := r.StartRebalance(rb); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	_ = json.NewEncoder(w).Encode(r.RebalanceStatus())
 }
 
 func (r *Router) handleIngest(w http.ResponseWriter, req *http.Request) {
@@ -145,9 +170,14 @@ func (r *Router) handleStatus(w http.ResponseWriter, req *http.Request) {
 	defer r.mu.RUnlock()
 	rows := make([]peerStatus, 0, len(r.peers))
 	for _, ps := range r.peers {
+		state := persist.StateIn
+		if m, ok := r.view.Member(ps.Name); ok {
+			state = m.State
+		}
 		rows = append(rows, peerStatus{
 			Name:    ps.Name,
 			URL:     ps.URL,
+			State:   state,
 			Healthy: ps.healthy.Load(),
 			InRing:  ps.inRing,
 			Ranges:  r.ring.Ranges(ps.Name),
@@ -155,9 +185,11 @@ func (r *Router) handleStatus(w http.ResponseWriter, req *http.Request) {
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
 	writeJSON(w, struct {
-		Epoch uint64       `json:"epoch"`
-		Peers []peerStatus `json:"peers"`
-	}{Epoch: r.epoch, Peers: rows})
+		Router      string       `json:"router,omitempty"`
+		Coordinator bool         `json:"coordinator"`
+		Epoch       uint64       `json:"epoch"`
+		Peers       []peerStatus `json:"peers"`
+	}{Router: r.cfg.Name, Coordinator: r.isCoordinator(), Epoch: r.epoch, Peers: rows})
 }
 
 // getJSON fetches url and decodes the JSON body into reply.

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -48,6 +49,16 @@ type Instance struct {
 	// without a router owns everything, so plain single-instance
 	// deployments run unchanged.
 	standalone bool
+
+	// Coordinator-lease state (see lease.go): the current holder, the
+	// per-instance fencing generation (monotonic across holder
+	// changes), the absolute grant deadline, the recently-seen router
+	// candidates, and the newest coordinator-pushed cluster view.
+	leaseHolder   string
+	leaseGen      uint64
+	leaseDeadline time.Time
+	candidates    map[string]time.Time
+	view          *persist.ViewRecord
 }
 
 // NewInstance wraps s for cluster serving. Ownership recovered from
@@ -61,11 +72,24 @@ func NewInstance(name string, s *stream.Streamer, diag func(string, ...any)) *In
 		client:     &http.Client{Timeout: 30 * time.Second},
 		diag:       diag,
 		standalone: true,
+		candidates: make(map[string]time.Time),
 	}
 	if rec, ok := s.RecoveredOwnership(); ok {
 		inst.epoch = rec.Epoch
 		inst.ranges = rec.Ranges
 		inst.standalone = false
+	}
+	// A recovered lease restores the fencing generation (so a stale
+	// pre-crash coordinator stays fenced) and the holder/deadline —
+	// usually already expired by the time the restart finishes, which
+	// simply re-opens the election.
+	if rec, ok := s.RecoveredLease(); ok {
+		inst.leaseHolder = rec.Holder
+		inst.leaseGen = rec.Gen
+		inst.leaseDeadline = time.Unix(0, rec.ExpireNano)
+	}
+	if rec, ok := s.RecoveredView(); ok {
+		inst.view = &rec
 	}
 	return inst
 }
@@ -151,11 +175,39 @@ func (inst *Instance) IngestLines(lines []string) (rejected []int, err error) {
 	return rejected, nil
 }
 
+// ownershipRequest pushes an epoch-stamped ownership set.
+type ownershipRequest struct {
+	Gen    uint64              `json:"gen,omitempty"` // coordinator fencing generation
+	Epoch  uint64              `json:"epoch"`
+	Ranges []persist.HashRange `json:"ranges"`
+}
+
+func (r ownershipRequest) validate() error {
+	if r.Epoch == 0 {
+		return fmt.Errorf("%w: ownership with epoch 0", errPayload)
+	}
+	return validRanges(r.Ranges)
+}
+
 // handoffRequest drives one live outbound handoff (source side).
 type handoffRequest struct {
+	Gen    uint64              `json:"gen,omitempty"`
 	Epoch  uint64              `json:"epoch"`
 	Target string              `json:"target"` // base URL of the receiving instance
 	Ranges []persist.HashRange `json:"ranges"`
+}
+
+func (r handoffRequest) validate() error {
+	if r.Epoch == 0 {
+		return fmt.Errorf("%w: handoff with epoch 0", errPayload)
+	}
+	if r.Target == "" {
+		return fmt.Errorf("%w: handoff without a target", errPayload)
+	}
+	if len(r.Ranges) == 0 {
+		return fmt.Errorf("%w: handoff with no ranges", errPayload)
+	}
+	return validRanges(r.Ranges)
 }
 
 // importRequest carries a handoff payload to the receiving instance.
@@ -166,12 +218,36 @@ type importRequest struct {
 	State  string              `json:"state"` // base64 of the framed HandoffState
 }
 
+func (r importRequest) validate() error {
+	if r.Epoch == 0 {
+		return fmt.Errorf("%w: import with epoch 0", errPayload)
+	}
+	if r.State == "" {
+		return fmt.Errorf("%w: import without a state payload", errPayload)
+	}
+	return validRanges(r.Ranges)
+}
+
 // takeoverRequest asks a survivor to absorb ranges from a dead
 // instance's state directory (shared-filesystem deployments).
 type takeoverRequest struct {
+	Gen    uint64              `json:"gen,omitempty"`
 	Epoch  uint64              `json:"epoch"`
 	Dir    string              `json:"dir"`
 	Ranges []persist.HashRange `json:"ranges"`
+}
+
+func (r takeoverRequest) validate() error {
+	if r.Epoch == 0 {
+		return fmt.Errorf("%w: takeover with epoch 0", errPayload)
+	}
+	if r.Dir == "" {
+		return fmt.Errorf("%w: takeover without a state dir", errPayload)
+	}
+	if len(r.Ranges) == 0 {
+		return fmt.Errorf("%w: takeover with no ranges", errPayload)
+	}
+	return validRanges(r.Ranges)
 }
 
 // statusReply is the /cluster/status body.
@@ -180,6 +256,9 @@ type statusReply struct {
 	Epoch          uint64              `json:"epoch"`
 	Ranges         []persist.HashRange `json:"ranges"`
 	PendingHandoff *handoffRequest     `json:"pending_handoff,omitempty"`
+	LeaseHolder    string              `json:"lease_holder,omitempty"`
+	LeaseGen       uint64              `json:"lease_gen,omitempty"`
+	ViewEpoch      uint64              `json:"view_epoch,omitempty"`
 }
 
 // instanceMetrics is the cluster view of /metrics: the streamer's
@@ -316,6 +395,10 @@ func (inst *Instance) Handler() http.Handler {
 	mux.HandleFunc("/cluster/handoff", inst.handleHandoff)
 	mux.HandleFunc("/cluster/import", inst.handleImport)
 	mux.HandleFunc("/cluster/takeover", inst.handleTakeover)
+	mux.HandleFunc("/cluster/lease", inst.handleLease)
+	mux.HandleFunc("/cluster/view", inst.handleView)
+	mux.HandleFunc("/cluster/resolve", inst.handleResolve)
+	mux.HandleFunc("/cluster/imported", inst.handleImported)
 	mux.HandleFunc("/metrics", inst.handleMetrics)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, `{"status":"ok"}`)
@@ -360,15 +443,29 @@ func (inst *Instance) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if hEpoch, target, hRanges, ok := inst.s.PendingHandoff(); ok {
 		reply.PendingHandoff = &handoffRequest{Epoch: hEpoch, Target: target, Ranges: hRanges}
 	}
+	inst.mu.RLock()
+	reply.LeaseHolder, reply.LeaseGen = inst.leaseHolder, inst.leaseGen
+	if inst.view != nil {
+		reply.ViewEpoch = inst.view.Epoch
+	}
+	inst.mu.RUnlock()
 	writeJSON(w, reply)
 }
 
+// fence is fencedLocked for callers outside inst.mu.
+func (inst *Instance) fence(gen uint64) error {
+	inst.mu.RLock()
+	defer inst.mu.RUnlock()
+	return inst.fencedLocked(gen)
+}
+
 func (inst *Instance) handleOwnership(w http.ResponseWriter, r *http.Request) {
-	var req struct {
-		Epoch  uint64              `json:"epoch"`
-		Ranges []persist.HashRange `json:"ranges"`
+	var req ownershipRequest
+	if !readJSON(w, r, &req, maxControlBody) {
+		return
 	}
-	if !readJSON(w, r, &req) {
+	if err := inst.fence(req.Gen); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}
 	if err := inst.AdoptOwnership(req.Epoch, req.Ranges); err != nil {
@@ -380,7 +477,11 @@ func (inst *Instance) handleOwnership(w http.ResponseWriter, r *http.Request) {
 
 func (inst *Instance) handleHandoff(w http.ResponseWriter, r *http.Request) {
 	var req handoffRequest
-	if !readJSON(w, r, &req) {
+	if !readJSON(w, r, &req, maxControlBody) {
+		return
+	}
+	if err := inst.fence(req.Gen); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}
 	if err := inst.HandoffTo(req.Epoch, req.Target, req.Ranges); err != nil {
@@ -392,7 +493,7 @@ func (inst *Instance) handleHandoff(w http.ResponseWriter, r *http.Request) {
 
 func (inst *Instance) handleImport(w http.ResponseWriter, r *http.Request) {
 	var req importRequest
-	if !readJSON(w, r, &req) {
+	if !readJSON(w, r, &req, maxStateBody) {
 		return
 	}
 	if err := inst.Import(req); err != nil {
@@ -404,7 +505,11 @@ func (inst *Instance) handleImport(w http.ResponseWriter, r *http.Request) {
 
 func (inst *Instance) handleTakeover(w http.ResponseWriter, r *http.Request) {
 	var req takeoverRequest
-	if !readJSON(w, r, &req) {
+	if !readJSON(w, r, &req, maxControlBody) {
+		return
+	}
+	if err := inst.fence(req.Gen); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}
 	if err := inst.Takeover(req); err != nil {
@@ -412,6 +517,60 @@ func (inst *Instance) handleTakeover(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, map[string]any{"epoch": req.Epoch})
+}
+
+func (inst *Instance) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if !readJSON(w, r, &req, maxControlBody) {
+		return
+	}
+	rep, err := inst.Lease(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, rep)
+}
+
+func (inst *Instance) handleView(w http.ResponseWriter, r *http.Request) {
+	var req viewRequest
+	if !readJSON(w, r, &req, maxControlBody) {
+		return
+	}
+	if err := inst.InstallView(req); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, map[string]any{"epoch": req.View.Epoch})
+}
+
+func (inst *Instance) handleResolve(w http.ResponseWriter, r *http.Request) {
+	var req resolveRequest
+	if !readJSON(w, r, &req, maxControlBody) {
+		return
+	}
+	if err := inst.Resolve(req); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, map[string]any{"epoch": req.Epoch, "commit": req.Commit})
+}
+
+// handleImported answers the successor coordinator's intent-resolution
+// question: did the handoff at epoch N from source S durably land on
+// this instance?
+func (inst *Instance) handleImported(w http.ResponseWriter, r *http.Request) {
+	epoch, err := strconv.ParseUint(r.URL.Query().Get("epoch"), 10, 64)
+	if err != nil {
+		http.Error(w, "imported: epoch query parameter must be a uint", http.StatusBadRequest)
+		return
+	}
+	source := r.URL.Query().Get("source")
+	if source == "" {
+		http.Error(w, "imported: source query parameter required", http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, map[string]any{"epoch": epoch, "imported": inst.s.HasImport(epoch, source)})
 }
 
 func (inst *Instance) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -427,18 +586,6 @@ func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	_ = enc.Encode(v)
-}
-
-func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return false
-	}
-	if err := json.NewDecoder(io.LimitReader(r.Body, 256<<20)).Decode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return false
-	}
-	return true
 }
 
 func postJSON(client *http.Client, url string, req, reply any) error {

@@ -1,0 +1,90 @@
+// Control-plane payload parsing. Every /cluster/* body decodes
+// through one strict path that returns typed errors — errPayload for
+// malformed or invalid content, http.MaxBytesError for oversized
+// bodies — and never panics, no matter the bytes. The fuzz target
+// FuzzClusterPayload drives exactly this layer.
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"desh/internal/persist"
+)
+
+// errPayload marks a request body that parsed as transport-valid JSON
+// but failed the payload's own validation (or did not parse at all).
+// Handlers map it to 400.
+var errPayload = errors.New("cluster: invalid payload")
+
+// Body caps. Import and takeover carry whole shipped range states and
+// keep the WAL-record-sized bound the protocol already enforces;
+// everything else is small control metadata.
+const (
+	maxControlBody = 1 << 20
+	maxStateBody   = 256 << 20
+)
+
+// payloadValidator is implemented by request types with structural
+// invariants beyond JSON well-formedness.
+type payloadValidator interface{ validate() error }
+
+// decodePayload strictly parses one control-plane body into v:
+// unknown fields rejected, exactly one JSON value, validate() applied
+// when the type has one. All failures come back wrapped in errPayload
+// (or the reader's own error, e.g. http.MaxBytesError).
+func decodePayload(body io.Reader, v any) error {
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return mbe
+		}
+		return fmt.Errorf("%w: %v", errPayload, err)
+	}
+	// A second value (or trailing garbage) means the body was not one
+	// JSON document.
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		return fmt.Errorf("%w: trailing data after JSON body", errPayload)
+	}
+	if pv, ok := v.(payloadValidator); ok {
+		return pv.validate()
+	}
+	return nil
+}
+
+// validRanges rejects structurally broken hash-range lists. Lo == Hi
+// is only meaningful as the full circle {0,0}.
+func validRanges(ranges []persist.HashRange) error {
+	for _, r := range ranges {
+		if r.Lo == r.Hi && r.Lo != 0 {
+			return fmt.Errorf("%w: degenerate hash range {%d,%d}", errPayload, r.Lo, r.Hi)
+		}
+	}
+	return nil
+}
+
+// readJSON decodes a POST body into v with the byte cap applied,
+// writing the proper status on failure: 405 for non-POST, 413 for
+// oversized bodies, 400 for everything malformed.
+func readJSON(w http.ResponseWriter, r *http.Request, v any, limit int64) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return false
+	}
+	body := http.MaxBytesReader(w, r.Body, limit)
+	if err := decodePayload(body, v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+			return false
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}

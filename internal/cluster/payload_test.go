@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// payloadTargets returns one fresh instance of every control-plane
+// request type that decodes through decodePayload.
+func payloadTargets() map[string]any {
+	return map[string]any{
+		"ownership": &ownershipRequest{},
+		"handoff":   &handoffRequest{},
+		"import":    &importRequest{},
+		"takeover":  &takeoverRequest{},
+		"lease":     &leaseRequest{},
+		"view":      &viewRequest{},
+		"resolve":   &resolveRequest{},
+		"rebalance": &RebalanceRequest{},
+	}
+}
+
+// TestDecodePayloadTable: every malformed shape maps to the typed
+// errPayload, every valid shape decodes, and nothing panics.
+func TestDecodePayloadTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		target string
+		body   string
+		ok     bool
+	}{
+		{"valid ownership", "ownership", `{"epoch":3,"ranges":[{"Lo":1,"Hi":9}]}`, true},
+		{"ownership epoch 0", "ownership", `{"epoch":0,"ranges":[]}`, false},
+		{"ownership degenerate range", "ownership", `{"epoch":3,"ranges":[{"Lo":7,"Hi":7}]}`, false},
+		{"ownership full circle", "ownership", `{"epoch":3,"ranges":[{"Lo":0,"Hi":0}]}`, true},
+		{"unknown field", "ownership", `{"epoch":3,"bogus":true}`, false},
+		{"trailing document", "ownership", `{"epoch":3}{"epoch":4}`, false},
+		{"trailing garbage", "ownership", `{"epoch":3} ]`, false},
+		{"not json", "ownership", `epoch=3`, false},
+		{"empty body", "ownership", ``, false},
+		{"wrong field type", "ownership", `{"epoch":"three"}`, false},
+		{"negative epoch", "ownership", `{"epoch":-1}`, false},
+		{"valid handoff", "handoff", `{"epoch":4,"target":"http://x","ranges":[{"Lo":1,"Hi":2}]}`, true},
+		{"handoff without target", "handoff", `{"epoch":4,"ranges":[{"Lo":1,"Hi":2}]}`, false},
+		{"handoff without ranges", "handoff", `{"epoch":4,"target":"http://x"}`, false},
+		{"valid import", "import", `{"epoch":4,"source":"a","state":"AAAA"}`, true},
+		{"import without state", "import", `{"epoch":4,"source":"a"}`, false},
+		{"valid takeover", "takeover", `{"epoch":4,"dir":"/d","ranges":[{"Lo":1,"Hi":2}]}`, true},
+		{"takeover without dir", "takeover", `{"epoch":4,"ranges":[{"Lo":1,"Hi":2}]}`, false},
+		{"valid lease", "lease", `{"name":"r0","ttl_ms":2000}`, true},
+		{"lease release without ttl", "lease", `{"name":"r0","release":true}`, true},
+		{"lease without name", "lease", `{"ttl_ms":2000}`, false},
+		{"lease ttl too long", "lease", `{"name":"r0","ttl_ms":86400000}`, false},
+		{"lease ttl negative", "lease", `{"name":"r0","ttl_ms":-5}`, false},
+		{"valid view", "view", `{"view":{"epoch":2,"members":[{"name":"a","state":"in"},{"name":"b","state":"draining"}]}}`, true},
+		{"view epoch 0", "view", `{"view":{"epoch":0,"members":[{"name":"a","state":"in"}]}}`, false},
+		{"view without members", "view", `{"view":{"epoch":2,"members":[]}}`, false},
+		{"view duplicate member", "view", `{"view":{"epoch":2,"members":[{"name":"a","state":"in"},{"name":"a","state":"in"}]}}`, false},
+		{"view unknown state", "view", `{"view":{"epoch":2,"members":[{"name":"a","state":"zombie"}]}}`, false},
+		{"view unnamed member", "view", `{"view":{"epoch":2,"members":[{"name":"","state":"in"}]}}`, false},
+		{"valid resolve", "resolve", `{"epoch":9,"commit":true}`, true},
+		{"resolve epoch 0", "resolve", `{"epoch":0,"commit":true}`, false},
+		{"valid rebalance add", "rebalance", `{"action":"add","name":"i3","url":"http://i3"}`, true},
+		{"valid rebalance drain", "rebalance", `{"action":"drain","name":"i0"}`, true},
+		{"rebalance add without url", "rebalance", `{"action":"add","name":"i3"}`, false},
+		{"rebalance bogus action", "rebalance", `{"action":"shuffle","name":"i0"}`, false},
+		{"rebalance without name", "rebalance", `{"action":"drain"}`, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v, ok := payloadTargets()[tc.target]
+			if !ok {
+				t.Fatalf("unknown target %q", tc.target)
+			}
+			err := decodePayload(strings.NewReader(tc.body), v)
+			if tc.ok && err != nil {
+				t.Fatalf("decode %q: %v", tc.body, err)
+			}
+			if !tc.ok {
+				if err == nil {
+					t.Fatalf("decode %q accepted", tc.body)
+				}
+				if !errors.Is(err, errPayload) {
+					t.Fatalf("decode %q: error %v is not errPayload-typed", tc.body, err)
+				}
+			}
+		})
+	}
+}
+
+// TestReadJSONStatusCodes: the HTTP wrapper maps method, size and
+// shape failures to 405 / 413 / 400 and accepts a clean POST.
+func TestReadJSONStatusCodes(t *testing.T) {
+	do := func(method, body string, limit int64) *httptest.ResponseRecorder {
+		t.Helper()
+		req := httptest.NewRequest(method, "/cluster/ownership", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		var v ownershipRequest
+		readJSON(w, req, &v, limit)
+		return w
+	}
+	if w := do(http.MethodGet, `{"epoch":1}`, maxControlBody); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: %d, want 405", w.Code)
+	}
+	if w := do(http.MethodPost, `{"epoch":1,"ranges":[{"Lo":1,"Hi":2},`+strings.Repeat(`{"Lo":1,"Hi":2},`, 40)+`{"Lo":1,"Hi":2}]}`, 64); w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized: %d, want 413", w.Code)
+	}
+	if w := do(http.MethodPost, `{"epoch":1,"bogus":2}`, maxControlBody); w.Code != http.StatusBadRequest {
+		t.Fatalf("unknown field: %d, want 400", w.Code)
+	}
+	if w := do(http.MethodPost, `{"epoch":1}`, maxControlBody); w.Code != http.StatusOK {
+		t.Fatalf("valid: %d, want 200", w.Code)
+	}
+}
+
+// FuzzClusterPayload throws arbitrary bytes at the strict decode path
+// for every control-plane request type. The contract under fuzz: no
+// panic, and every failure is typed — errPayload or MaxBytesError —
+// never a bare json/io error leaking through.
+func FuzzClusterPayload(f *testing.F) {
+	f.Add([]byte(`{"epoch":3,"ranges":[{"Lo":1,"Hi":9}]}`))
+	f.Add([]byte(`{"epoch":4,"target":"http://x","ranges":[{"Lo":1,"Hi":2}]}`))
+	f.Add([]byte(`{"name":"r0","ttl_ms":2000}`))
+	f.Add([]byte(`{"view":{"epoch":2,"members":[{"name":"a","state":"in"}]}}`))
+	f.Add([]byte(`{"action":"add","name":"i3","url":"http://i3"}`))
+	f.Add([]byte(`{"epoch":3}{"epoch":4}`))
+	f.Add([]byte(`{"epoch":18446744073709551615}`))
+	f.Add([]byte(`[[[[[[[[{`))
+	f.Add([]byte("\x00\xff\xfe"))
+	f.Add([]byte(`{"epoch":1e309}`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		for name, v := range payloadTargets() {
+			err := decodePayload(bytes.NewReader(body), v)
+			if err == nil {
+				continue
+			}
+			var mbe *http.MaxBytesError
+			if !errors.Is(err, errPayload) && !errors.As(err, &mbe) {
+				t.Fatalf("%s: untyped decode error %T: %v", name, err, err)
+			}
+		}
+	})
+}

@@ -66,6 +66,25 @@ type RouterConfig struct {
 	SendQueue int
 	// Diag, when set, receives one-line operational diagnostics.
 	Diag func(format string, args ...any)
+
+	// Name identifies this router in the coordinator election. Empty
+	// disables election entirely: the router always coordinates —
+	// the single-router deployment, unchanged from before replication.
+	Name string
+	// LeaseTTL is the coordinator lease duration granted by each
+	// instance (default 2s). Shorter means faster failover; the lease
+	// renews every ElectionInterval.
+	LeaseTTL time.Duration
+	// ElectionInterval is the lease poll period (default LeaseTTL/3).
+	ElectionInterval time.Duration
+	// Transport overrides the HTTP transport for every client the
+	// router builds — the fault-injection seam the chaos harness uses
+	// to partition a router from a subset of peers.
+	Transport http.RoundTripper
+	// HookRebalanceStep, when set, runs synchronously at each named
+	// step boundary of a planned rebalance (and of a converge-driven
+	// resume) — the chaos seam for killing a coordinator mid-protocol.
+	HookRebalanceStep func(step string)
 }
 
 // RouterMetrics is the router's own counter registry.
@@ -94,6 +113,8 @@ type RouterMetrics struct {
 	// during a rebalance (the affected ranges serve cold).
 	HandoffErrors  atomic.Int64
 	TakeoverErrors atomic.Int64
+	// Elections counts transitions into the coordinator role.
+	Elections atomic.Int64
 }
 
 // RouterMetricsSnapshot is the JSON view of RouterMetrics plus the
@@ -112,6 +133,8 @@ type RouterMetricsSnapshot struct {
 	Rebalances     int64  `json:"rebalances"`
 	HandoffErrors  int64  `json:"handoff_errors"`
 	TakeoverErrors int64  `json:"takeover_errors"`
+	Coordinator    bool   `json:"coordinator"`
+	Elections      int64  `json:"elections"`
 }
 
 type peerState struct {
@@ -119,6 +142,12 @@ type peerState struct {
 	ch       chan string
 	healthy  atomic.Bool
 	inflight atomic.Int64
+	// stop ends this peer's sender/health goroutines when the member
+	// leaves the cluster view (the router itself keeps running).
+	stop chan struct{}
+	// leaseGen is the newest fencing generation this peer reported in
+	// a lease reply; control posts to the peer are stamped with it.
+	leaseGen atomic.Uint64
 	// fails / oks are consecutive probe counts, touched only by the
 	// peer's health goroutine.
 	fails int
@@ -136,12 +165,30 @@ type peerState struct {
 type Router struct {
 	cfg    RouterConfig
 	client *http.Client
-	fsys   faultfs.FS
+	// leaseClient is the short-timeout client for lease polls: one
+	// unresponsive instance must never stall the election round past
+	// the TTL.
+	leaseClient *http.Client
+	fsys        faultfs.FS
 
-	mu    sync.RWMutex // ring, epoch, peer ring-membership
+	mu    sync.RWMutex // ring, epoch, view, peer ring-membership
 	ring  *Ring
 	epoch uint64
+	view  persist.ViewRecord
 	peers map[string]*peerState
+
+	// Coordinator election (see coordinator.go). election is fixed at
+	// construction; coordinator flips with quorum lease grants; killed
+	// marks a simulated SIGKILL so shutdown skips the graceful lease
+	// release.
+	election    bool
+	coordinator atomic.Bool
+	killed      atomic.Bool
+
+	// rebalStMu guards rebalSt, the progress report of the running (or
+	// last) administrative rebalance.
+	rebalStMu sync.Mutex
+	rebalSt   RebalanceStatus
 
 	// rebalMu serializes eject/readmit orchestration end to end.
 	rebalMu sync.Mutex
@@ -196,6 +243,17 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if cfg.Retry.Attempts == 0 {
 		cfg.Retry.Attempts = 4
 	}
+	if cfg.Retry.MaxElapsed <= 0 {
+		cfg.Retry.MaxElapsed = 15 * time.Second
+	}
+	if cfg.Name != "" {
+		if cfg.LeaseTTL <= 0 {
+			cfg.LeaseTTL = 2 * time.Second
+		}
+		if cfg.ElectionInterval <= 0 {
+			cfg.ElectionInterval = cfg.LeaseTTL / 3
+		}
+	}
 	if cfg.BatchMax <= 0 {
 		cfg.BatchMax = 256
 	}
@@ -220,39 +278,51 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		return nil, fmt.Errorf("cluster: spill wal: %w", err)
 	}
 	names := make([]string, 0, len(cfg.Peers))
+	members := make([]persist.ViewMember, 0, len(cfg.Peers))
 	peers := make(map[string]*peerState, len(cfg.Peers))
 	for _, p := range cfg.Peers {
 		if _, dup := peers[p.Name]; dup {
 			spill.Close()
 			return nil, fmt.Errorf("cluster: duplicate peer name %q", p.Name)
 		}
-		ps := &peerState{Peer: p, ch: make(chan string, cfg.SendQueue), inRing: true}
+		ps := &peerState{Peer: p, ch: make(chan string, cfg.SendQueue), stop: make(chan struct{}), inRing: true}
 		ps.healthy.Store(true)
 		peers[p.Name] = ps
 		names = append(names, p.Name)
+		members = append(members, persist.ViewMember{Name: p.Name, URL: p.URL, Dir: p.Dir, State: persist.StateIn})
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	r := &Router{
-		cfg:    cfg,
-		client: &http.Client{Timeout: 30 * time.Second},
-		fsys:   fsys,
-		ring:   NewRing(names, cfg.Vnodes),
-		epoch:  1,
-		peers:  peers,
-		spill:  spill,
-		ctx:    ctx,
-		cancel: cancel,
+		cfg:         cfg,
+		client:      &http.Client{Timeout: 30 * time.Second, Transport: cfg.Transport},
+		leaseClient: &http.Client{Timeout: cfg.HealthTimeout, Transport: cfg.Transport},
+		fsys:        fsys,
+		ring:        NewRing(names, cfg.Vnodes),
+		epoch:       1,
+		view:        persist.ViewRecord{Epoch: 1, Members: members},
+		peers:       peers,
+		election:    cfg.Name != "",
+		spill:       spill,
+		ctx:         ctx,
+		cancel:      cancel,
 	}
 	if stats.Records > 0 {
 		r.spillMu.Lock()
 		r.spillN = int64(stats.Records)
 		r.spillMu.Unlock()
 	}
-	r.pushOwnership(1, r.ring, names)
+	if r.election {
+		// Replicated deployment: ownership and views converge through the
+		// elected coordinator, never through every router's boot — two
+		// routers pushing epoch 1 concurrently would be two authorities.
+		r.wg.Add(1)
+		go r.electLoop()
+	} else {
+		r.coordinator.Store(true)
+		r.pushOwnership(1, r.ring, names)
+	}
 	for _, ps := range peers {
-		r.wg.Add(2)
-		go r.sender(ps)
-		go r.healthLoop(ps)
+		r.startPeer(ps)
 	}
 	r.wg.Add(1)
 	go r.drainLoop()
@@ -336,6 +406,8 @@ func (r *Router) sender(ps *peerState) {
 		select {
 		case <-r.ctx.Done():
 			return
+		case <-ps.stop:
+			return
 		case line := <-ps.ch:
 			batch := append(make([]string, 0, r.cfg.BatchMax), line)
 		fill:
@@ -355,10 +427,16 @@ func (r *Router) sender(ps *peerState) {
 }
 
 func (r *Router) sendBatch(ps *peerState, batch []string) {
+	body := strings.Join(batch, "\n")
 	var reply ingestReply
-	err := retry.Do(r.ctx, r.cfg.Retry, func() error {
+	err := r.cfg.Retry.DoCtx(r.ctx, func(ctx context.Context) error {
 		reply = ingestReply{}
-		resp, err := r.client.Post(ps.URL+"/ingest", "text/plain", strings.NewReader(strings.Join(batch, "\n")))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, ps.URL+"/ingest", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "text/plain")
+		resp, err := r.client.Do(req)
 		if err != nil {
 			return err
 		}
@@ -459,6 +537,8 @@ func (r *Router) healthLoop(ps *peerState) {
 		select {
 		case <-r.ctx.Done():
 			return
+		case <-ps.stop:
+			return
 		case <-t.C:
 			r.probe(ps)
 		}
@@ -483,15 +563,27 @@ func (r *Router) probe(ps *peerState) {
 	if ok {
 		ps.fails = 0
 		ps.oks++
-		if !inRing && ps.oks >= r.cfg.ReadmitThreshold {
+		if !inRing && ps.oks >= r.cfg.ReadmitThreshold && r.isCoordinator() {
 			r.readmit(ps)
+		} else if inRing && !ps.healthy.Load() && ps.oks >= r.cfg.ReadmitThreshold {
+			// A router that locally marked an in-ring peer down resumes
+			// direct delivery once the peer answers again.
+			ps.healthy.Store(true)
 		}
 		return
 	}
 	ps.oks = 0
 	ps.fails++
 	if inRing && ps.fails >= r.cfg.FailThreshold {
-		r.eject(ps)
+		if r.isCoordinator() {
+			r.eject(ps)
+		} else if ps.healthy.Load() {
+			// Only the coordinator mutates the cluster view; every other
+			// router just stops hammering the dead peer and spills its
+			// lines for redelivery after the coordinator's eject lands.
+			ps.healthy.Store(false)
+			r.met.PeerUnhealthy.Add(1)
+		}
 	}
 }
 
@@ -503,36 +595,39 @@ func (r *Router) probe(ps *peerState) {
 func (r *Router) eject(dead *peerState) {
 	r.rebalMu.Lock()
 	defer r.rebalMu.Unlock()
-	r.mu.Lock()
-	if !dead.inRing {
-		r.mu.Unlock()
+	view := r.View()
+	m, ok := view.Member(dead.Name)
+	if !ok || !m.InRing() {
 		return
 	}
-	dead.inRing = false
-	dead.healthy.Store(false)
+	r.mu.RLock()
 	oldRing := r.ring
-	alive := r.aliveLocked()
-	r.epoch++
-	epoch := r.epoch
-	r.ring = NewRing(alive, r.cfg.Vnodes)
-	newRing := r.ring
-	r.mu.Unlock()
+	r.mu.RUnlock()
+	v2 := view.Clone()
+	setMemberState(&v2, dead.Name, persist.StateEjected)
+	v2.Epoch++
+	r.installView(v2)
 	r.met.PeerUnhealthy.Add(1)
 	r.met.Rebalances.Add(1)
-	r.diagf("cluster: peer %s unhealthy, ejected at epoch %d (%d peers remain)", dead.Name, epoch, len(alive))
+	alive := v2.RingMembers()
+	r.diagf("cluster: peer %s unhealthy, ejected at epoch %d (%d peers remain)", dead.Name, v2.Epoch, len(alive))
 	if len(alive) == 0 {
 		return // everything spills until someone comes back
 	}
 	deadRanges := oldRing.Ranges(dead.Name)
 	if dead.Dir != "" {
+		newRing := NewRing(alive, r.cfg.Vnodes)
 		for _, name := range alive {
 			moved := Intersect(deadRanges, newRing.Ranges(name))
 			if len(moved) == 0 {
 				continue
 			}
-			sp := r.peers[name]
+			sp := r.peerByName(name)
+			if sp == nil {
+				continue
+			}
 			if err := postJSON(r.client, sp.URL+"/cluster/takeover",
-				takeoverRequest{Epoch: epoch, Dir: dead.Dir, Ranges: moved}, nil); err != nil {
+				takeoverRequest{Gen: r.genFor(name), Epoch: v2.Epoch, Dir: dead.Dir, Ranges: moved}, nil); err != nil {
 				// The survivor serves these ranges cold: state continuity is
 				// lost but rerouted events still flow once ownership lands.
 				r.met.TakeoverErrors.Add(1)
@@ -540,7 +635,8 @@ func (r *Router) eject(dead *peerState) {
 			}
 		}
 	}
-	r.pushOwnership(epoch, newRing, alive)
+	r.pushView(v2)
+	r.pushOwnershipView(v2)
 }
 
 // readmit returns a recovered peer to the ring after probation: the
@@ -555,24 +651,25 @@ func (r *Router) eject(dead *peerState) {
 func (r *Router) readmit(ps *peerState) {
 	r.rebalMu.Lock()
 	defer r.rebalMu.Unlock()
-	r.mu.Lock()
-	if ps.inRing {
-		r.mu.Unlock()
+	view := r.View()
+	m, ok := view.Member(ps.Name)
+	if !ok || m.State != persist.StateEjected {
 		return
 	}
+	r.mu.RLock()
 	oldRing := r.ring
-	alive := append(r.aliveLocked(), ps.Name)
-	r.epoch++
-	epoch := r.epoch
-	r.mu.Unlock()
-	newRing := NewRing(alive, r.cfg.Vnodes)
-	r.diagf("cluster: peer %s rejoining at epoch %d", ps.Name, epoch)
+	r.mu.RUnlock()
+	v2 := view.Clone()
+	setMemberState(&v2, ps.Name, persist.StateIn)
+	v2.Epoch++
+	newRing := NewRing(v2.RingMembers(), r.cfg.Vnodes)
+	r.diagf("cluster: peer %s rejoining at epoch %d", ps.Name, v2.Epoch)
 	gained := newRing.Ranges(ps.Name)
 	for _, owner := range oldRing.Members() {
 		if owner == ps.Name {
 			continue
 		}
-		src := r.peers[owner]
+		src := r.peerByName(owner)
 		if src == nil || !src.healthy.Load() {
 			continue
 		}
@@ -581,44 +678,154 @@ func (r *Router) readmit(ps *peerState) {
 			continue
 		}
 		if err := postJSON(r.client, src.URL+"/cluster/handoff",
-			handoffRequest{Epoch: epoch, Target: ps.URL, Ranges: moved}, nil); err != nil {
+			handoffRequest{Gen: r.genFor(owner), Epoch: v2.Epoch, Target: ps.URL, Ranges: moved}, nil); err != nil {
 			r.met.HandoffErrors.Add(1)
 			r.diagf("cluster: handoff %s -> %s failed: %v", owner, ps.Name, err)
 		}
 	}
-	r.mu.Lock()
-	ps.inRing = true
-	ps.healthy.Store(true)
-	r.ring = newRing
-	r.mu.Unlock()
-	r.pushOwnership(epoch, newRing, alive)
+	r.installView(v2) // the ejected→in transition flips healthy back on
+	r.pushView(v2)
+	r.pushOwnershipView(v2)
 	r.met.Readmits.Add(1)
 	r.met.Rebalances.Add(1)
-	r.diagf("cluster: peer %s readmitted at epoch %d", ps.Name, epoch)
+	r.diagf("cluster: peer %s readmitted at epoch %d", ps.Name, v2.Epoch)
 }
 
-// aliveLocked returns the names of in-ring peers; call with r.mu held.
-func (r *Router) aliveLocked() []string {
-	var names []string
+// installView adopts a cluster view with a newer epoch: the ring
+// rebuilds from the view's in-ring members, new members gain sender
+// and health goroutines, members that left lose theirs (their queued
+// lines respill), and a member whose ring state changed has its local
+// health flag flipped to match. Views at or below the installed epoch
+// are ignored — epochs only move forward. Reports whether the view
+// was installed.
+func (r *Router) installView(v persist.ViewRecord) bool {
+	r.mu.Lock()
+	if v.Epoch <= r.view.Epoch {
+		r.mu.Unlock()
+		return false
+	}
+	old := r.view
+	r.view = v.Clone()
+	r.epoch = v.Epoch
+	r.ring = NewRing(v.RingMembers(), r.cfg.Vnodes)
+	var started, stopped []*peerState
+	seen := make(map[string]bool, len(v.Members))
+	for _, m := range v.Members {
+		seen[m.Name] = true
+		ps := r.peers[m.Name]
+		if ps == nil {
+			ps = &peerState{
+				Peer: Peer{Name: m.Name, URL: m.URL, Dir: m.Dir},
+				ch:   make(chan string, r.cfg.SendQueue),
+				stop: make(chan struct{}),
+			}
+			ps.healthy.Store(m.InRing())
+			r.peers[m.Name] = ps
+			started = append(started, ps)
+		} else if om, ok := old.Member(m.Name); ok && om.InRing() != m.InRing() {
+			ps.healthy.Store(m.InRing())
+		}
+		ps.inRing = m.InRing()
+	}
 	for name, ps := range r.peers {
-		if ps.inRing {
-			names = append(names, name)
+		if !seen[name] {
+			delete(r.peers, name)
+			stopped = append(stopped, ps)
 		}
 	}
-	return names
+	r.mu.Unlock()
+	for _, ps := range started {
+		r.startPeer(ps)
+	}
+	for _, ps := range stopped {
+		r.stopPeer(ps)
+	}
+	return true
+}
+
+// setMemberState rewrites one member's state in a cloned view.
+func setMemberState(v *persist.ViewRecord, name, state string) {
+	for i := range v.Members {
+		if v.Members[i].Name == name {
+			v.Members[i].State = state
+			return
+		}
+	}
+}
+
+// startPeer launches a peer's sender and health goroutines, refusing
+// quietly once shutdown has begun.
+func (r *Router) startPeer(ps *peerState) {
+	r.closeMu.Lock()
+	if r.closed {
+		r.closeMu.Unlock()
+		return
+	}
+	r.wg.Add(2)
+	r.closeMu.Unlock()
+	go r.sender(ps)
+	go r.healthLoop(ps)
+}
+
+// stopPeer ends a departed member's goroutines and respills whatever
+// was queued for it — the next drain re-routes those lines to the
+// ranges' new owners.
+func (r *Router) stopPeer(ps *peerState) {
+	close(ps.stop)
+	for {
+		select {
+		case line := <-ps.ch:
+			r.spillLine(line)
+		default:
+			return
+		}
+	}
+}
+
+// goTracked runs fn on a WaitGroup-tracked goroutine, refusing once
+// shutdown has begun. Reports whether fn was started.
+func (r *Router) goTracked(fn func()) bool {
+	r.closeMu.Lock()
+	if r.closed {
+		r.closeMu.Unlock()
+		return false
+	}
+	r.wg.Add(1)
+	r.closeMu.Unlock()
+	go func() {
+		defer r.wg.Done()
+		fn()
+	}()
+	return true
+}
+
+func (r *Router) peerByName(name string) *peerState {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.peers[name]
+}
+
+// genFor returns the fencing generation to stamp on a control post to
+// the named peer: the newest generation that peer reported in a lease
+// reply, or 0 (unfenced) when election is disabled.
+func (r *Router) genFor(name string) uint64 {
+	if !r.election {
+		return 0
+	}
+	if ps := r.peerByName(name); ps != nil {
+		return ps.leaseGen.Load()
+	}
+	return 0
 }
 
 // pushOwnership installs the ring's assignment on every named peer.
 func (r *Router) pushOwnership(epoch uint64, ring *Ring, names []string) {
 	for _, name := range names {
-		ps := r.peers[name]
+		ps := r.peerByName(name)
 		if ps == nil {
 			continue
 		}
-		req := struct {
-			Epoch  uint64              `json:"epoch"`
-			Ranges []persist.HashRange `json:"ranges"`
-		}{Epoch: epoch, Ranges: ring.Ranges(name)}
+		req := ownershipRequest{Gen: r.genFor(name), Epoch: epoch, Ranges: ring.Ranges(name)}
 		if err := postJSON(r.client, ps.URL+"/cluster/ownership", req, nil); err != nil {
 			r.diagf("cluster: ownership push to %s: %v", name, err)
 		}
@@ -667,6 +874,24 @@ func (r *Router) quiescent() bool {
 	return true
 }
 
+// Kill simulates a SIGKILL for the chaos harness: ingest stops and
+// background goroutines are cancelled, but nothing is waited for, no
+// lease is released, and the spill WAL is left unclosed — the state a
+// killed process leaves behind. Safe to call from inside a
+// rebalance-step hook (Close would deadlock there: the hook runs on a
+// WaitGroup goroutine Close waits for).
+func (r *Router) Kill() {
+	r.killed.Store(true)
+	r.closeMu.Lock()
+	if r.closed {
+		r.closeMu.Unlock()
+		return
+	}
+	r.closed = true
+	r.closeMu.Unlock()
+	r.cancel()
+}
+
 // Close stops ingest and every background goroutine, then closes the
 // spill WAL. Undelivered spill records stay on disk and redeliver on
 // the next start.
@@ -701,5 +926,22 @@ func (r *Router) Metrics() RouterMetricsSnapshot {
 		Rebalances:     r.met.Rebalances.Load(),
 		HandoffErrors:  r.met.HandoffErrors.Load(),
 		TakeoverErrors: r.met.TakeoverErrors.Load(),
+		Coordinator:    r.isCoordinator(),
+		Elections:      r.met.Elections.Load(),
 	}
+}
+
+// View returns a copy of the currently installed cluster view.
+func (r *Router) View() persist.ViewRecord {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.view.Clone()
+}
+
+// IsCoordinator reports whether this router currently holds the
+// coordinator role (always true when election is disabled).
+func (r *Router) IsCoordinator() bool { return r.isCoordinator() }
+
+func (r *Router) isCoordinator() bool {
+	return !r.election || r.coordinator.Load()
 }

@@ -35,6 +35,12 @@ type Policy struct {
 	// Attempts bounds Do: after this many calls to fn the last error is
 	// returned (0 = retry until the context cancels).
 	Attempts int
+	// MaxElapsed caps the total wall-clock budget of one DoCtx call:
+	// once sleeping for the next attempt would cross it, the last error
+	// is returned instead (0 = no cap). It bounds the worst case where
+	// Attempts alone would let a slow endpoint plus full backoff sleeps
+	// stretch one delivery far past what the caller can tolerate.
+	MaxElapsed time.Duration
 	// Rand overrides the jitter source with a func returning a uniform
 	// value in [0, n) — the determinism seam for tests and for callers
 	// with their own seeded source (nil = the math/rand shared source).
@@ -117,6 +123,39 @@ func Do(ctx context.Context, p Policy, fn func() error) error {
 		}
 		if serr := p.Sleep(ctx, attempt); serr != nil {
 			return errors.Join(serr, err)
+		}
+	}
+}
+
+// DoCtx is the context-aware Do: fn receives ctx so each attempt's
+// I/O can be cancelled mid-flight (not just the sleeps between
+// attempts), a cancelled ctx is never handed a fresh attempt, and
+// MaxElapsed caps the call's total wall-clock budget. Shutdown
+// therefore interrupts both the in-flight request and the backoff
+// sleep instead of waiting either out.
+func (p Policy) DoCtx(ctx context.Context, fn func(context.Context) error) error {
+	start := time.Now()
+	var err error
+	for attempt := 0; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return errors.Join(cerr, err)
+		}
+		if err = fn(ctx); err == nil {
+			return nil
+		}
+		if p.Attempts > 0 && attempt+1 >= p.Attempts {
+			return err
+		}
+		d := p.Delay(attempt)
+		if p.MaxElapsed > 0 && time.Since(start)+d >= p.MaxElapsed {
+			return err
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return errors.Join(ctx.Err(), err)
 		}
 	}
 }

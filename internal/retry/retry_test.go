@@ -100,6 +100,82 @@ func TestDoContextCancelDuringBackoff(t *testing.T) {
 	}
 }
 
+func TestDoCtxStopsOnSuccessAndBoundedAttempts(t *testing.T) {
+	calls := 0
+	p := Policy{Base: time.Microsecond, Max: time.Microsecond}
+	err := p.DoCtx(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("DoCtx = %v after %d calls, want nil after 3", err, calls)
+	}
+	sentinel := errors.New("still down")
+	calls = 0
+	p.Attempts = 4
+	err = p.DoCtx(context.Background(), func(context.Context) error { calls++; return sentinel })
+	if !errors.Is(err, sentinel) || calls != 4 {
+		t.Fatalf("DoCtx = %v after %d calls, want sentinel after exactly 4", err, calls)
+	}
+}
+
+func TestDoCtxNeverStartsAnAttemptAfterCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	p := Policy{Base: time.Microsecond, Max: time.Microsecond}
+	err := p.DoCtx(ctx, func(context.Context) error { calls++; return errors.New("x") })
+	if !errors.Is(err, context.Canceled) || calls != 0 {
+		t.Fatalf("DoCtx = %v after %d calls, want context.Canceled after 0", err, calls)
+	}
+}
+
+func TestDoCtxPassesContextToAttempts(t *testing.T) {
+	// The attempt's I/O must be cancellable mid-flight: fn blocks on the
+	// ctx it was handed, and an external cancel releases it.
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{Base: time.Hour, Max: time.Hour, Rand: maxRand}
+	done := make(chan error, 1)
+	go func() {
+		done <- p.DoCtx(ctx, func(actx context.Context) error {
+			<-actx.Done()
+			return actx.Err()
+		})
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("DoCtx = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("DoCtx did not return after cancelling the attempt's context")
+	}
+}
+
+func TestDoCtxMaxElapsedCapsTheBudget(t *testing.T) {
+	sentinel := errors.New("down")
+	// Every retry sleep is a deterministic 50ms; a 60ms budget allows
+	// exactly one sleep (attempt 1's would cross the cap).
+	p := Policy{Base: 50 * time.Millisecond, Max: 50 * time.Millisecond, MaxElapsed: 60 * time.Millisecond, Rand: maxRand}
+	calls := 0
+	start := time.Now()
+	err := p.DoCtx(context.Background(), func(context.Context) error { calls++; return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("DoCtx = %v, want sentinel", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("DoCtx ran %v, MaxElapsed cap did not bite", elapsed)
+	}
+	if calls < 1 || calls > 3 {
+		t.Fatalf("DoCtx made %d attempts under a 60ms budget of 50ms sleeps, want 1-3", calls)
+	}
+}
+
 func TestWaitStopChannel(t *testing.T) {
 	p := Policy{Base: time.Hour, Max: time.Hour, Rand: maxRand}
 	stop := make(chan struct{})

@@ -78,6 +78,13 @@ type handoffIntent struct {
 	ranges []persist.HashRange
 }
 
+// importKey identifies one durably-imported handoff: the ownership
+// epoch it ran under and the source instance that shipped it.
+type importKey struct {
+	epoch  uint64
+	source string
+}
+
 // dropBarrier rides the shard queues at CompleteHandoff: each shard
 // deletes its nodes inside the ranges at that exact queue position.
 type dropBarrier struct {
@@ -285,6 +292,10 @@ func (s *Streamer) ImportState(epoch uint64, source string, ranges []persist.Has
 			return fmt.Errorf("stream: handoff journal: %w", err)
 		}
 	}
+	// The In record is the commit point: from here on, "did epoch E
+	// from this source land here?" must answer yes, even before the
+	// barrier drains.
+	s.imports[importKey{epoch, source}] = true
 	barriers := s.buildImport(st)
 	for i, sh := range s.shards {
 		sh.ch <- shardMsg{imp: barriers[i]}
@@ -498,6 +509,7 @@ func (s *Streamer) replayHandoff(typ byte, payload []byte) error {
 		if err := persist.DecodeSnapshot(rec.State, &st); err != nil {
 			return fmt.Errorf("stream: journaled handoff state: %w", err)
 		}
+		s.imports[importKey{rec.Epoch, rec.Peer}] = true
 		return s.importDirect(&st)
 	}
 	return nil

@@ -1,0 +1,128 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+
+	"desh/internal/logsim"
+	"desh/internal/persist"
+)
+
+// TestLeaseAndViewJournalRecovery: the lease and cluster-view records
+// survive a crash, and the newest of each wins.
+func TestLeaseAndViewJournalRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(freshPipeline(t), WithShards(2), WithStateDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wait := collectAlerts(s)
+	if _, ok := s.RecoveredLease(); ok {
+		t.Fatal("cold start must not report a recovered lease")
+	}
+	if _, ok := s.RecoveredView(); ok {
+		t.Fatal("cold start must not report a recovered view")
+	}
+	if err := s.JournalLease(persist.LeaseRecord{Holder: "r-old", Gen: 1, ExpireNano: 100}); err != nil {
+		t.Fatal(err)
+	}
+	lease := persist.LeaseRecord{Holder: "r-new", Gen: 2, ExpireNano: 200}
+	if err := s.JournalLease(lease); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.JournalView(persist.ViewRecord{Epoch: 1, Members: []persist.ViewMember{{Name: "a", State: persist.StateIn}}}); err != nil {
+		t.Fatal(err)
+	}
+	view := persist.ViewRecord{Epoch: 2, Members: []persist.ViewMember{
+		{Name: "a", URL: "http://a", Dir: "/a", State: persist.StateIn},
+		{Name: "b", URL: "http://b", Dir: "/b", State: persist.StateDraining},
+	}}
+	if err := s.JournalView(view); err != nil {
+		t.Fatal(err)
+	}
+	s.crash()
+	wait()
+	s2, err := New(freshPipeline(t), WithShards(2), WithStateDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wait2 := collectAlerts(s2)
+	got, ok := s2.RecoveredLease()
+	if !ok || got != lease {
+		t.Fatalf("recovered lease %+v (ok=%v), want %+v", got, ok, lease)
+	}
+	gv, ok := s2.RecoveredView()
+	if !ok || !reflect.DeepEqual(gv, view) {
+		t.Fatalf("recovered view %+v (ok=%v), want %+v", gv, ok, view)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wait2()
+}
+
+// TestHasImportSurvivesCrash: the imported-epoch set answers the
+// successor coordinator's resolution question across a restart.
+func TestHasImportSurvivesCrash(t *testing.T) {
+	run, err := generatedRun(logsim.Profiles()[2], 8, 8, 6, 177)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := make([]string, len(run.Events))
+	for i, ge := range run.Events {
+		lines[i] = ge.Line()
+	}
+	dirA, dirB := t.TempDir(), t.TempDir()
+	a, err := New(freshPipeline(t), handoffOpts(WithStateDir(dirA))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, waitA := collectAlerts(a)
+	b, err := New(freshPipeline(t), handoffOpts(WithStateDir(dirB))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, waitB := collectAlerts(b)
+	for _, line := range lines[:len(lines)/2] {
+		if err := a.IngestLine(line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := a.BeginHandoff(7, "b", fullCircle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.HasImport(7, "a") {
+		t.Fatal("HasImport(7, a) true before the import committed")
+	}
+	if err := b.ImportState(7, "a", fullCircle, st); err != nil {
+		t.Fatal(err)
+	}
+	if !b.HasImport(7, "a") || b.HasImport(8, "a") || b.HasImport(7, "other") {
+		t.Fatal("HasImport after live import: want exactly (7, a)")
+	}
+	if err := a.CompleteHandoff(); err != nil {
+		t.Fatal(err)
+	}
+	b.crash()
+	waitB()
+	b2, err := New(freshPipeline(t), handoffOpts(WithStateDir(dirB))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, waitB2 := collectAlerts(b2)
+	if !b2.HasImport(7, "a") {
+		t.Fatal("HasImport(7, a) lost across a crash — intent resolution would wrongly abort")
+	}
+	if b2.HasImport(7, "other") {
+		t.Fatal("HasImport must stay keyed by source across recovery")
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitA()
+	if err := b2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitB2()
+}

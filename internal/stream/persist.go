@@ -244,6 +244,18 @@ func (s *Streamer) recover() error {
 				return err
 			}
 			s.recEpoch = &rec
+		case persist.RecLease:
+			rec, err := persist.DecodeLease(payload[1:])
+			if err != nil {
+				return err
+			}
+			s.recLease = &rec
+		case persist.RecView:
+			rec, err := persist.DecodeView(payload[1:])
+			if err != nil {
+				return err
+			}
+			s.recView = &rec
 		}
 		return nil
 	})

@@ -396,6 +396,19 @@ type Streamer struct {
 	frozen   []persist.HashRange
 	recEpoch *persist.EpochRecord
 
+	// Coordinator-election state (guarded by mu). recLease/recView are
+	// the newest lease and cluster-view records boot replay surfaced;
+	// imports remembers every (epoch, source) handoff this instance has
+	// durably imported (RecHandoffIn), so a successor coordinator can
+	// resolve a crashed predecessor's pending intent by asking the
+	// target "did epoch E from source S commit on you?". Keyed by both
+	// because one rebalance hands off from several sources under one
+	// epoch — a bare epoch would let one source's commit falsely
+	// confirm another's.
+	recLease *persist.LeaseRecord
+	recView  *persist.ViewRecord
+	imports  map[importKey]bool
+
 	mu     sync.RWMutex // guards closed against in-flight ingests
 	closed bool
 	done   chan struct{}
@@ -450,12 +463,13 @@ func New(p *core.Pipeline, options ...Option) (*Streamer, error) {
 		return nil, fmt.Errorf("stream: MaxOpenWindow %d below chain MinLen %d", opts.MaxOpenWindow, chainCfg.MinLen)
 	}
 	s := &Streamer{
-		p:      p,
-		opts:   opts,
-		lab:    p.Labeler(),
-		enc:    p.Encoder(),
-		alerts: make(chan Alert, opts.AlertBuffer),
-		done:   make(chan struct{}),
+		p:       p,
+		opts:    opts,
+		lab:     p.Labeler(),
+		enc:     p.Encoder(),
+		alerts:  make(chan Alert, opts.AlertBuffer),
+		done:    make(chan struct{}),
+		imports: make(map[importKey]bool),
 	}
 	s.vocabN.Store(int64(modelVocab(p)))
 	if opts.AllowedLateness > 0 || opts.DedupWindow > 0 {
