@@ -16,11 +16,11 @@ vet:
 # sweep via experiments' core usage, mini-batch skip-gram training),
 # the pool itself, the sharded streaming engine behind deshd, its
 # crash-recovery substrate, the continuous-learning loop that retrains
-# and hot-swaps models behind live traffic, and the cluster tier
+# and hot-swaps models behind live traffic, the cluster tier
 # (router + instances + retry) that coordinates shard handoff across
-# processes.
+# processes, and the f32/f64 kernel parity suites in tensor.
 race:
-	GOMAXPROCS=4 $(GO) test -race ./internal/core/... ./internal/embed/... ./internal/nn/... ./internal/par/... ./internal/stream/... ./internal/chain/... ./internal/persist/... ./internal/adapt/... ./internal/cluster/... ./internal/retry/... ./internal/chaos/...
+	GOMAXPROCS=4 $(GO) test -race ./internal/core/... ./internal/embed/... ./internal/nn/... ./internal/par/... ./internal/stream/... ./internal/chain/... ./internal/persist/... ./internal/adapt/... ./internal/cluster/... ./internal/retry/... ./internal/chaos/... ./internal/tensor/...
 
 # verify is the tier-1 gate: build + full tests, plus vet and the race
 # detector over the concurrent packages.

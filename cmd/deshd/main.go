@@ -79,6 +79,7 @@ func run() error {
 	skew := flag.Duration("skew-tolerance", 0, "quarantine events this far ahead of the local clock (0 disables)")
 	shed := flag.String("shed-policy", "off", `overload degradation: "off" or "degrade" (walk shed levels under pressure)`)
 	microBatch := flag.Int("micro-batch", 32, "events one shard wakeup coalesces and scores as a batch (1 disables)")
+	precision := flag.String("precision", "f64", `serving precision: "f64" (bit-identical to batch) or "f32" (float32 kernels, alert-equivalent)`)
 	retrainEvery := flag.Duration("retrain-every", 0, "retrain a candidate model from the WAL at this interval (0 disables; requires -state-dir)")
 	driftThreshold := flag.Float64("drift-threshold", 0, "retrain when the drift score reaches this (0 disables; requires -state-dir)")
 	shadowWindow := flag.Int("shadow-window", 200, "closed-chain verdicts a candidate is shadow-scored on before swapping")
@@ -100,6 +101,11 @@ func run() error {
 		return err
 	}
 
+	prec, err := desh.ParsePrecision(*precision)
+	if err != nil {
+		return err
+	}
+
 	opts := []desh.StreamOption{
 		desh.WithQueueDepth(*queue),
 		desh.WithQuietPeriod(*quiet),
@@ -107,6 +113,7 @@ func run() error {
 		desh.WithIdleFlush(*idle),
 		desh.WithMaxOpenWindow(*window),
 		desh.WithMicroBatch(*microBatch),
+		desh.WithPrecision(prec),
 	}
 	if *shards > 0 {
 		opts = append(opts, desh.WithShards(*shards))
@@ -173,6 +180,8 @@ func run() error {
 	if file := s.ActiveModelFile(); file != "" {
 		fmt.Fprintf(os.Stderr, "deshd: serving hot-swapped model %s from the state dir\n", file)
 	}
+	fmt.Fprintf(os.Stderr, "deshd: serving precision %s (weight conversions %d)\n",
+		prec, s.SnapshotMetrics().PrecisionConversions)
 
 	var learner *desh.Learner
 	if *retrainEvery > 0 || *driftThreshold > 0 {
@@ -352,10 +361,11 @@ func run() error {
 	}
 	snap := s.SnapshotMetrics()
 	fmt.Fprintf(os.Stderr,
-		"deshd: ingested %d (safe %d, malformed %d, oversized %d, dropped %d, quarantined %d), chains closed %d, alerts fired %d (suppressed %d, undelivered %d), shard restarts %d, batch occupancy %.2f (batched detects %d), detect p50 %.0fµs p99 %.0fµs\n",
+		"deshd: ingested %d (safe %d, malformed %d, oversized %d, dropped %d, quarantined %d), chains closed %d, alerts fired %d (suppressed %d, undelivered %d), shard restarts %d, batch occupancy %.2f (batched detects %d), precision %s (conversions %d), detect p50 %.0fµs p99 %.0fµs\n",
 		snap.Ingested, snap.SafeFiltered, snap.Malformed, snap.Oversized, snap.Dropped, snap.Quarantined,
 		snap.ChainsClosed, snap.AlertsFired, snap.AlertsSuppressed, snap.AlertsDropped,
 		snap.ShardRestarts, snap.BatchOccupancy, snap.BatchedDetects,
+		snap.ModelPrecision, snap.PrecisionConversions,
 		snap.Detect.P50Micros, snap.Detect.P99Micros)
 	fmt.Fprintf(os.Stderr,
 		"deshd: disorder: late %d (dropped %d, clamped %d), duplicates %d, skew-quarantined %d, reorder overflow %d, window evicted %d, shed %d (max level %d)\n",

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"desh/internal/core"
 	"desh/internal/logsim"
 	"desh/internal/stream"
 )
@@ -187,6 +188,28 @@ func WithSkewTolerance(d time.Duration) StreamOption { return stream.WithSkewTol
 // are bit-identical to serial ones. 1 disables coalescing (default 32,
 // max 256).
 func WithMicroBatch(n int) StreamOption { return stream.WithMicroBatch(n) }
+
+// Precision selects the serving numeric path of a Streamer. Training
+// and model files are float64 regardless; PrecisionF32 converts the
+// trained weights once per adopted model and scores through the float32
+// kernels — half the model-resident bytes and wider SIMD, gated by
+// alert equivalence rather than bitwise parity with the f64 path.
+type Precision = core.Precision
+
+const (
+	// PrecisionF64 (default) serves bit-identically to the batch
+	// pipeline.
+	PrecisionF64 = core.PrecisionF64
+	// PrecisionF32 serves through the float32 inference stack.
+	PrecisionF32 = core.PrecisionF32
+)
+
+// ParsePrecision parses a -precision flag value ("f64" or "f32").
+func ParsePrecision(s string) (Precision, error) { return core.ParsePrecision(s) }
+
+// WithPrecision sets the Streamer's serving numeric path (default
+// PrecisionF64).
+func WithPrecision(p Precision) StreamOption { return stream.WithPrecision(p) }
 
 // WithShedPolicy selects the overload behavior: StreamShedOff (default)
 // or StreamShedDegrade, which walks through explicit degradation levels

@@ -147,6 +147,15 @@ type Detector struct {
 	bIn     [][][]float64
 	bPerm   []int
 	bConsec []int
+
+	// Float32 serving mode (phase3f32.go). When prec is PrecisionF32
+	// the detector scores through f32, converted from the trained
+	// model once at construction; stream is nil in that mode.
+	prec     Precision
+	f32      *nn.Forward32
+	stream32 *nn.Stream32
+	batch32  *nn.StreamBatch32
+	in32     []float32
 }
 
 // NewDetector builds a scoring context for the trained Phase-2 model.
@@ -167,6 +176,9 @@ func (d *Detector) Detect(c chain.Chain) Verdict {
 // DetectWith scores one candidate sequence with explicit settings,
 // rewinding the detector's stream first.
 func (d *Detector) DetectWith(c chain.Chain, threshold float64, minMatches int) Verdict {
+	if d.prec == PrecisionF32 {
+		return d.detectWith32(c, threshold, minMatches)
+	}
 	p := d.p
 	v := Verdict{
 		Node:       c.Node,

@@ -31,6 +31,10 @@ func (d *Detector) DetectBatch(chains []chain.Chain, verdicts []Verdict) {
 	if len(verdicts) != len(chains) {
 		panic(fmt.Sprintf("core: DetectBatch %d chains, %d verdict slots", len(chains), len(verdicts)))
 	}
+	if d.prec == PrecisionF32 {
+		d.detectBatch32(chains, verdicts)
+		return
+	}
 	B := len(chains)
 	switch B {
 	case 0:

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"desh/internal/chain"
@@ -32,6 +33,13 @@ type Pipeline struct {
 	// of a private full-width pool — how background retraining runs at
 	// reduced priority next to a serving streamer.
 	trainPool *par.Pool
+
+	// Float32 serving-model cache (precision.go). f32of records which
+	// phase2 the cached conversion came from, so a retrain that installs
+	// a new model invalidates it by pointer inequality.
+	f32mu    sync.Mutex
+	f32model *nn.Forward32
+	f32of    *nn.SeqRegressor
 }
 
 // New returns an untrained pipeline.

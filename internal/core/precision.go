@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"desh/internal/nn"
+)
+
+// Precision selects which numeric path a serving Detector scores
+// through. Training, BPTT and model files are float64 regardless; the
+// precision only decides whether serving converts the trained weights
+// to float32 once at load/swap time and runs the f32 kernels.
+type Precision uint8
+
+const (
+	// PrecisionF64 scores through the float64 path — bit-identical to
+	// the offline Predict pipeline and to every pre-existing
+	// equivalence suite.
+	PrecisionF64 Precision = iota
+	// PrecisionF32 scores through the float32 serving stack: half the
+	// model-resident bytes and twice the SIMD lanes, gated by the
+	// alert-equivalence tolerance suite instead of bitwise parity.
+	PrecisionF32
+)
+
+// String returns the flag spelling ("f64" or "f32").
+func (pr Precision) String() string {
+	switch pr {
+	case PrecisionF64:
+		return "f64"
+	case PrecisionF32:
+		return "f32"
+	default:
+		return fmt.Sprintf("Precision(%d)", uint8(pr))
+	}
+}
+
+// ParsePrecision parses the -precision flag spelling.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "f64", "float64", "":
+		return PrecisionF64, nil
+	case "f32", "float32":
+		return PrecisionF32, nil
+	default:
+		return PrecisionF64, fmt.Errorf("core: unknown precision %q (want f64 or f32)", s)
+	}
+}
+
+// Convert32 returns the float32 serving image of the trained Phase-2
+// model, converting on first use and caching the result. The cache is
+// keyed on the model pointer, so installing a new phase2 (retrain,
+// snapshot load) converts afresh while repeated detector builds over
+// one model share a single conversion. Safe for concurrent use.
+//
+// The second result reports whether this call performed a conversion
+// (false on a cache hit) — the signal behind the precision_conversions
+// operator counter.
+func (p *Pipeline) Convert32() (*nn.Forward32, bool, error) {
+	if p.phase2 == nil {
+		return nil, false, fmt.Errorf("core: Convert32 on untrained pipeline")
+	}
+	p.f32mu.Lock()
+	defer p.f32mu.Unlock()
+	if p.f32model != nil && p.f32of == p.phase2 {
+		return p.f32model, false, nil
+	}
+	f, err := p.phase2.Convert32()
+	if err != nil {
+		return nil, false, err
+	}
+	p.f32model, p.f32of = f, p.phase2
+	return f, true, nil
+}

@@ -1,0 +1,219 @@
+package nn
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"desh/internal/tensor"
+)
+
+// TestConvert32DeterministicIdempotent pins that weight conversion is a
+// pure function of the float64 model: two conversions agree bit for
+// bit, and converting weights that already round-trip through float32
+// reproduces them exactly.
+func TestConvert32DeterministicIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	m := NewSeqRegressorIO(2, 2, 16, 2, rng)
+	a, err := m.Convert32()
+	if err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	b, err := m.Convert32()
+	if err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	sa, sb := a.NewStream32(), b.NewStream32()
+	x := []float32{0.5, -1.25}
+	for i := 0; i < 8; i++ {
+		pa, pb := sa.Step(x), sb.Step(x)
+		for d := range pa {
+			if math.Float32bits(pa[d]) != math.Float32bits(pb[d]) {
+				t.Fatalf("step %d dim %d: %v vs %v", i, d, pa[d], pb[d])
+			}
+		}
+	}
+
+	// Idempotence: write the converted bits back into the f64 model and
+	// convert again — identical serving weights.
+	for _, l := range m.Stack.Layers {
+		for i, v := range l.Wx.Value.Data {
+			l.Wx.Value.Data[i] = float64(float32(v))
+		}
+	}
+	c, err := m.Convert32()
+	if err != nil {
+		t.Fatalf("re-convert: %v", err)
+	}
+	for k := range a.layers {
+		for i := range a.layers[k].Wx.Data {
+			want := float32(float64(a.layers[k].Wx.Data[i]))
+			if math.Float32bits(c.layers[k].Wx.Data[i]) != math.Float32bits(want) {
+				t.Fatalf("layer %d Wx[%d] not idempotent", k, i)
+			}
+		}
+	}
+}
+
+// TestConvert32TypedError pins that a damaged model surfaces as a
+// wrapped *tensor.ConvertError at conversion time — never a panic,
+// never silent Inf weights.
+func TestConvert32TypedError(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	m := NewSeqRegressorIO(2, 2, 8, 2, rng)
+	m.Stack.Layers[1].Wh.Value.Data[3] = math.NaN()
+	_, err := m.Convert32()
+	var ce *tensor.ConvertError
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v, want wrapped *tensor.ConvertError", err)
+	}
+	if ce.Reason != "NaN" || ce.Index != 3 {
+		t.Fatalf("error detail: %+v", ce)
+	}
+
+	m2 := NewSeqRegressorIO(2, 2, 8, 2, rng)
+	m2.Out.W.Value.Data[0] = math.Inf(-1)
+	if _, err := m2.Convert32(); err == nil {
+		t.Fatal("Inf output weight converted without error")
+	}
+}
+
+// TestWeightBytes pins the ~2x model-resident-bytes ratio the precision
+// benchmarks report.
+func TestWeightBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	m := NewSeqRegressorIO(2, 2, 32, 2, rng)
+	f, err := m.Convert32()
+	if err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	if m.WeightBytes() != 2*f.WeightBytes() {
+		t.Fatalf("f64 %d bytes, f32 %d bytes, want exactly 2x", m.WeightBytes(), f.WeightBytes())
+	}
+	if f.WeightBytes() <= 0 {
+		t.Fatalf("f32 weight bytes %d", f.WeightBytes())
+	}
+}
+
+// TestStreamBatch32MatchesStream32 checks the f32 serving-path parity
+// contract: every row of a StreamBatch32 pass is bit-identical to
+// running that row's sequence through a serial Stream32, across batch
+// widths, ragged lengths (longest-first with Shrink), and repeated
+// Begin cycles.
+func TestStreamBatch32MatchesStream32(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	m := NewSeqRegressorIO(2, 2, 16, 2, rng)
+	f, err := m.Convert32()
+	if err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	sb := f.NewStreamBatch32()
+	st := f.NewStream32()
+
+	for trial := 0; trial < 20; trial++ {
+		B := 1 + rng.Intn(9)
+		lens := make([]int, B)
+		for i := range lens {
+			lens[i] = 1 + rng.Intn(12)
+		}
+		for i := 1; i < B; i++ {
+			if lens[i] > lens[i-1] {
+				lens[i] = lens[i-1]
+			}
+		}
+		seqs := make([][][]float32, B)
+		for i := range seqs {
+			seqs[i] = make([][]float32, lens[i])
+			for tstep := range seqs[i] {
+				v := make([]float32, f.InDim)
+				for d := range v {
+					v[d] = float32(rng.NormFloat64())
+				}
+				seqs[i][tstep] = v
+			}
+		}
+
+		want := make([][][]float32, B)
+		for i, seq := range seqs {
+			st.Reset()
+			for _, x := range seq {
+				p := st.Step(x)
+				want[i] = append(want[i], append([]float32(nil), p...))
+			}
+		}
+
+		sb.Begin(B)
+		live := B
+		for tstep := 0; ; tstep++ {
+			for live > 0 && lens[live-1] <= tstep {
+				live--
+			}
+			if live == 0 {
+				break
+			}
+			sb.Shrink(live)
+			for r := 0; r < live; r++ {
+				copy(sb.Input(r), seqs[r][tstep])
+			}
+			pred := sb.Step()
+			for r := 0; r < live; r++ {
+				got := pred.Row(r)
+				for d, w := range want[r][tstep] {
+					if math.Float32bits(got[d]) != math.Float32bits(w) {
+						t.Fatalf("trial %d row %d step %d dim %d: batch %v, serial %v",
+							trial, r, tstep, d, got[d], w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamBatch32SteadyStateAllocs pins the 0 allocs/op contract for
+// the f32 arenas, mirroring TestStreamBatchSteadyStateAllocs.
+func TestStreamBatch32SteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	m := NewSeqRegressorIO(2, 2, 16, 2, rng)
+	f, err := m.Convert32()
+	if err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	sb := f.NewStreamBatch32()
+	seq := make([][]float32, 6)
+	for i := range seq {
+		seq[i] = []float32{float32(rng.NormFloat64()), float32(rng.NormFloat64())}
+	}
+	sb.Begin(8) // warm the arenas at max width
+
+	for _, rows := range []int{8, 3, 1} {
+		rows := rows
+		allocs := testing.AllocsPerRun(50, func() {
+			sb.Begin(rows)
+			for tstep := range seq {
+				for r := 0; r < rows; r++ {
+					copy(sb.Input(r), seq[tstep])
+				}
+				sb.Step()
+				if rows > 1 && tstep == len(seq)-1 {
+					sb.Shrink(rows - 1)
+				}
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("rows=%d: %v allocs/op in steady state, want 0", rows, allocs)
+		}
+	}
+
+	// The serial f32 stream also allocates nothing per step.
+	st := f.NewStream32()
+	allocs := testing.AllocsPerRun(50, func() {
+		st.Reset()
+		for _, x := range seq {
+			st.Step(x)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Stream32: %v allocs/op, want 0", allocs)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"desh/internal/core"
 	"desh/internal/logparse"
 	"desh/internal/logsim"
 )
@@ -96,6 +97,17 @@ func benchEvents(b *testing.B) []logparse.Event {
 // includes queue wait. Reported extras: events/sec, detect p50/p99 in
 // µs, and the mean batch occupancy actually achieved.
 func BenchmarkStreamThroughput(b *testing.B) {
+	benchStreamThroughput(b)
+}
+
+// BenchmarkStreamThroughputF32 is the same workload served at
+// -precision f32 — the tentpole's headline comparison against the
+// BenchmarkStreamThroughput numbers at equal micro-batch widths.
+func BenchmarkStreamThroughputF32(b *testing.B) {
+	benchStreamThroughput(b, WithPrecision(core.PrecisionF32))
+}
+
+func benchStreamThroughput(b *testing.B, extra ...Option) {
 	p := trainedPipeline(b)
 	events := benchEvents(b)
 	for _, mb := range []int{1, 8, 32} {
@@ -112,7 +124,7 @@ func BenchmarkStreamThroughput(b *testing.B) {
 					drained()
 				}
 				var err error
-				s, err = New(p, WithQuietPeriod(0), WithMicroBatch(mb))
+				s, err = New(p, append([]Option{WithQuietPeriod(0), WithMicroBatch(mb)}, extra...)...)
 				if err != nil {
 					b.Fatal(err)
 				}

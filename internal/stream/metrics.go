@@ -194,6 +194,10 @@ type Metrics struct {
 	// DetectBatch path (batches of two or more; singletons take the
 	// serial path).
 	BatchedDetects atomic.Int64
+	// PrecisionConversions counts f64→f32 weight conversions performed
+	// for the serving path — one per adopted model (boot, recovery,
+	// hot swap) when serving at f32; always 0 at f64.
+	PrecisionConversions atomic.Int64
 
 	// Continuous-learning drift taps and loop counters (PR 7).
 
@@ -294,6 +298,11 @@ type MetricsSnapshot struct {
 	BatchOccupancy float64 `json:"batch_occupancy"`
 	// BatchedDetects counts chains scored through the batched GEMM path.
 	BatchedDetects int64 `json:"batched_detects"`
+	// ModelPrecision is the serving numeric path ("f64" or "f32");
+	// PrecisionConversions counts f64→f32 weight conversions (one per
+	// adopted model at f32).
+	ModelPrecision       string `json:"model_precision"`
+	PrecisionConversions int64  `json:"precision_conversions"`
 	// Continuous-learning gauges and counters (PR 7).
 	UnseenPhrases int64 `json:"unseen_phrases"`
 	Verdicts      int64 `json:"verdicts"`

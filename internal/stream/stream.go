@@ -174,6 +174,14 @@ type Options struct {
 	// the alert stream: per chain, batched verdicts are bit-identical to
 	// serial ones, and emission order is event order.
 	MicroBatch int
+	// Precision selects the serving numeric path (default
+	// core.PrecisionF64, bit-identical to the offline pipeline).
+	// core.PrecisionF32 converts the trained weights once per adopted
+	// model — at boot and at every hot swap — and scores through the
+	// float32 kernels: half the model-resident bytes, wider SIMD, alert
+	// equivalence (not bitwise parity) against the f64 path. Training
+	// and model files stay float64 either way.
+	Precision core.Precision
 	// ShedPolicy enables graceful overload degradation (default ShedOff;
 	// see shed.go for the levels).
 	ShedPolicy ShedPolicy
@@ -285,6 +293,10 @@ func WithSkewTolerance(d time.Duration) Option { return func(o *Options) { o.Ske
 // WithMicroBatch caps the events one shard wakeup coalesces and scores
 // as a batch (1 disables coalescing; default 32, max 256).
 func WithMicroBatch(n int) Option { return func(o *Options) { o.MicroBatch = n } }
+
+// WithPrecision sets the serving numeric path (core.PrecisionF64 or
+// core.PrecisionF32).
+func WithPrecision(p core.Precision) Option { return func(o *Options) { o.Precision = p } }
 
 // WithShedPolicy enables graceful overload degradation (default
 // ShedOff).
@@ -458,6 +470,9 @@ func New(p *core.Pipeline, options ...Option) (*Streamer, error) {
 	if opts.ShedPolicy != ShedOff && opts.ShedPolicy != ShedDegrade {
 		return nil, fmt.Errorf("stream: unknown ShedPolicy %d", opts.ShedPolicy)
 	}
+	if opts.Precision != core.PrecisionF64 && opts.Precision != core.PrecisionF32 {
+		return nil, fmt.Errorf("stream: unknown Precision %d", opts.Precision)
+	}
 	chainCfg := p.Config().ChainCfg
 	if opts.MaxOpenWindow > 0 && opts.MaxOpenWindow < chainCfg.MinLen {
 		return nil, fmt.Errorf("stream: MaxOpenWindow %d below chain MinLen %d", opts.MaxOpenWindow, chainCfg.MinLen)
@@ -486,11 +501,15 @@ func New(p *core.Pipeline, options ...Option) (*Streamer, error) {
 	}
 	s.shards = make([]*shard, opts.Shards)
 	for i := range s.shards {
+		det, err := s.newDetector(p)
+		if err != nil {
+			return nil, fmt.Errorf("stream: %s serving model: %w", opts.Precision, err)
+		}
 		sh := &shard{
 			s:     s,
 			id:    i,
 			ch:    make(chan shardMsg, opts.QueueDepth),
-			det:   p.NewDetector(),
+			det:   det,
 			nodes: make(map[string]*nodeState),
 		}
 		if opts.IdleFlush > 0 {
@@ -539,6 +558,32 @@ func New(p *core.Pipeline, options ...Option) (*Streamer, error) {
 	return s, nil
 }
 
+// newDetector builds a shard detector over p at the configured serving
+// precision. Under f32 the first build for a given pipeline performs
+// the (cached) weight conversion and counts it in PrecisionConversions
+// — one per adopted model, across boot, recovery and hot swaps.
+func (s *Streamer) newDetector(p *core.Pipeline) (*core.Detector, error) {
+	if s.opts.Precision == core.PrecisionF32 {
+		if _, converted, err := p.Convert32(); err != nil {
+			return nil, err
+		} else if converted {
+			s.met.PrecisionConversions.Add(1)
+		}
+	}
+	return p.NewDetectorPrecision(s.opts.Precision)
+}
+
+// mustDetector is newDetector on a pipeline whose convertibility was
+// already validated (validateSwap); a failure here is a programming
+// error, not an operator-visible condition.
+func (s *Streamer) mustDetector(p *core.Pipeline) *core.Detector {
+	d, err := s.newDetector(p)
+	if err != nil {
+		panic(fmt.Sprintf("stream: detector build after validation: %v", err))
+	}
+	return d
+}
+
 // Alerts returns the subscriber channel. It is closed by Close after
 // every shard has drained, so ranging over it observes every alert.
 func (s *Streamer) Alerts() <-chan Alert { return s.alerts }
@@ -549,55 +594,57 @@ func (s *Streamer) Metrics() *Metrics { return &s.met }
 // SnapshotMetrics captures the counters plus per-shard queue depths.
 func (s *Streamer) SnapshotMetrics() MetricsSnapshot {
 	snap := MetricsSnapshot{
-		Ingested:          s.met.Ingested.Load(),
-		Malformed:         s.met.Malformed.Load(),
-		SafeFiltered:      s.met.SafeFiltered.Load(),
-		Dropped:           s.met.Dropped.Load(),
-		ChainsOpen:        s.met.ChainsOpen.Load(),
-		ChainsClosed:      s.met.ChainsClosed.Load(),
-		WindowEvicted:     s.met.WindowEvicted.Load(),
-		AlertsFired:       s.met.AlertsFired.Load(),
-		AlertsSuppressed:  s.met.AlertsSuppressed.Load(),
-		AlertsDropped:     s.met.AlertsDropped.Load(),
-		Processed:         s.met.Processed.Load(),
-		Oversized:         s.met.Oversized.Load(),
-		Quarantined:       s.met.Quarantined.Load(),
-		ShardRestarts:     s.met.ShardRestarts.Load(),
-		Snapshots:         s.met.Snapshots.Load(),
-		SnapshotErrors:    s.met.SnapshotErrors.Load(),
-		WALErrors:         s.met.WALErrors.Load(),
-		ReplayedEvents:    s.met.ReplayedEvents.Load(),
-		ReplaySuppressed:  s.met.ReplaySuppressed.Load(),
-		ConnRejected:      s.met.ConnRejected.Load(),
-		UnseenPhrases:     s.met.UnseenPhrases.Load(),
-		Verdicts:          s.met.Verdicts.Load(),
-		DriftScore:        float64(s.met.DriftScoreMilli.Load()) / 1000,
-		Retrains:          s.met.Retrains.Load(),
-		RetrainFailures:   s.met.RetrainFailures.Load(),
-		ShadowScored:      s.met.ShadowScored.Load(),
-		ShadowDropped:     s.met.ShadowDropped.Load(),
-		ShadowAccepted:    s.met.ShadowAccepted.Load(),
-		ShadowRejected:    s.met.ShadowRejected.Load(),
-		Swaps:             s.met.Swaps.Load(),
-		SwapErrors:        s.met.SwapErrors.Load(),
-		HandoffsStarted:   s.met.HandoffsStarted.Load(),
-		HandoffsCompleted: s.met.HandoffsCompleted.Load(),
-		HandoffsAborted:   s.met.HandoffsAborted.Load(),
-		HandoffImports:    s.met.HandoffImports.Load(),
-		HandoffNodesIn:    s.met.HandoffNodesIn.Load(),
-		HandoffNodesOut:   s.met.HandoffNodesOut.Load(),
-		Late:              s.met.Late.Load(),
-		LateDropped:       s.met.LateDropped.Load(),
-		LateClamped:       s.met.LateClamped.Load(),
-		Duplicates:        s.met.Duplicates.Load(),
-		SkewQuarantined:   s.met.SkewQuarantined.Load(),
-		Shed:              s.met.Shed.Load(),
-		ShedLevel:         s.met.ShedLevel.Load(),
-		ShedLevelMax:      s.met.ShedLevelMax.Load(),
-		ReorderOverflow:   s.met.ReorderOverflow.Load(),
-		BatchWakeups:      s.met.BatchWakeups.Load(),
-		BatchedDetects:    s.met.BatchedDetects.Load(),
-		Detect:            s.met.Detect.Snapshot(),
+		Ingested:             s.met.Ingested.Load(),
+		Malformed:            s.met.Malformed.Load(),
+		SafeFiltered:         s.met.SafeFiltered.Load(),
+		Dropped:              s.met.Dropped.Load(),
+		ChainsOpen:           s.met.ChainsOpen.Load(),
+		ChainsClosed:         s.met.ChainsClosed.Load(),
+		WindowEvicted:        s.met.WindowEvicted.Load(),
+		AlertsFired:          s.met.AlertsFired.Load(),
+		AlertsSuppressed:     s.met.AlertsSuppressed.Load(),
+		AlertsDropped:        s.met.AlertsDropped.Load(),
+		Processed:            s.met.Processed.Load(),
+		Oversized:            s.met.Oversized.Load(),
+		Quarantined:          s.met.Quarantined.Load(),
+		ShardRestarts:        s.met.ShardRestarts.Load(),
+		Snapshots:            s.met.Snapshots.Load(),
+		SnapshotErrors:       s.met.SnapshotErrors.Load(),
+		WALErrors:            s.met.WALErrors.Load(),
+		ReplayedEvents:       s.met.ReplayedEvents.Load(),
+		ReplaySuppressed:     s.met.ReplaySuppressed.Load(),
+		ConnRejected:         s.met.ConnRejected.Load(),
+		UnseenPhrases:        s.met.UnseenPhrases.Load(),
+		Verdicts:             s.met.Verdicts.Load(),
+		DriftScore:           float64(s.met.DriftScoreMilli.Load()) / 1000,
+		Retrains:             s.met.Retrains.Load(),
+		RetrainFailures:      s.met.RetrainFailures.Load(),
+		ShadowScored:         s.met.ShadowScored.Load(),
+		ShadowDropped:        s.met.ShadowDropped.Load(),
+		ShadowAccepted:       s.met.ShadowAccepted.Load(),
+		ShadowRejected:       s.met.ShadowRejected.Load(),
+		Swaps:                s.met.Swaps.Load(),
+		SwapErrors:           s.met.SwapErrors.Load(),
+		HandoffsStarted:      s.met.HandoffsStarted.Load(),
+		HandoffsCompleted:    s.met.HandoffsCompleted.Load(),
+		HandoffsAborted:      s.met.HandoffsAborted.Load(),
+		HandoffImports:       s.met.HandoffImports.Load(),
+		HandoffNodesIn:       s.met.HandoffNodesIn.Load(),
+		HandoffNodesOut:      s.met.HandoffNodesOut.Load(),
+		Late:                 s.met.Late.Load(),
+		LateDropped:          s.met.LateDropped.Load(),
+		LateClamped:          s.met.LateClamped.Load(),
+		Duplicates:           s.met.Duplicates.Load(),
+		SkewQuarantined:      s.met.SkewQuarantined.Load(),
+		Shed:                 s.met.Shed.Load(),
+		ShedLevel:            s.met.ShedLevel.Load(),
+		ShedLevelMax:         s.met.ShedLevelMax.Load(),
+		ReorderOverflow:      s.met.ReorderOverflow.Load(),
+		BatchWakeups:         s.met.BatchWakeups.Load(),
+		BatchedDetects:       s.met.BatchedDetects.Load(),
+		ModelPrecision:       s.opts.Precision.String(),
+		PrecisionConversions: s.met.PrecisionConversions.Load(),
+		Detect:               s.met.Detect.Snapshot(),
 	}
 	if snap.BatchWakeups > 0 {
 		snap.BatchOccupancy = float64(s.met.BatchEvents.Load()) / float64(snap.BatchWakeups)

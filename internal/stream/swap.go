@@ -135,6 +135,15 @@ func (s *Streamer) validateSwap(cand *core.Pipeline) error {
 			return fmt.Errorf("stream: swap candidate phrase %d mismatches the live encoder — retrain the candidate from the live vocabulary", i)
 		}
 	}
+	// At f32 the candidate's weights must convert before any durability
+	// step runs: a NaN/Inf/overflowing weight surfaces here as a swap
+	// validation error instead of a mid-flip failure. The conversion is
+	// cached, so the shard detectors reuse it at the barrier.
+	if s.opts.Precision == core.PrecisionF32 {
+		if _, _, err := cand.Convert32(); err != nil {
+			return fmt.Errorf("stream: swap candidate does not convert to f32: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -165,7 +174,7 @@ func (s *Streamer) adoptBoot(cand *core.Pipeline, file string) {
 	s.adoptModel(cand, file)
 	s.p = cand
 	for _, sh := range s.shards {
-		sh.det = cand.NewDetector()
+		sh.det = s.mustDetector(cand)
 	}
 }
 
@@ -174,7 +183,7 @@ func (s *Streamer) adoptBoot(cand *core.Pipeline, file string) {
 // the barrier (dispatch breaks its drain on one), so nothing pending
 // scores on the wrong model.
 func (sh *shard) applySwap(b *swapBarrier) {
-	sh.det = b.p.NewDetector()
+	sh.det = sh.s.mustDetector(b.p)
 	b.ack <- sh.id
 }
 

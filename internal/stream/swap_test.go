@@ -108,15 +108,27 @@ func mustEvents(t testing.TB) []logparse.Event {
 // would score it — same alerts, bit-identical lead times — while the
 // pre-swap phase keeps the old model's verdicts and nothing is dropped.
 func TestHotSwapBitIdentical(t *testing.T) {
+	runHotSwapBitIdentical(t)
+}
+
+// TestHotSwapBitIdenticalF32 re-arms the same harness at f32: post-swap
+// f32 traffic must match a fresh f32 boot on the candidate, bit for bit
+// — precision changes which path serves, never the swap protocol's
+// equivalence guarantee (f32-vs-f32 comparison stays bitwise).
+func TestHotSwapBitIdenticalF32(t *testing.T) {
+	runHotSwapBitIdentical(t, WithPrecision(core.PrecisionF32))
+}
+
+func runHotSwapBitIdentical(t *testing.T, extra ...Option) {
 	events, err := generatedEvents(logsim.Profiles()[2], 12, 16, 10, 141)
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts := []Option{
+	opts := append([]Option{
 		WithShards(3),
 		WithQuietPeriod(time.Minute),
 		WithAlertBuffer(8192),
-	}
+	}, extra...)
 
 	dir := t.TempDir()
 	s, err := New(freshPipeline(t), append(opts, WithStateDir(dir))...)
@@ -200,19 +212,32 @@ func TestHotSwapBitIdentical(t *testing.T) {
 // one — and in both cases the full run's alerts must match the
 // corresponding uninterrupted run exactly.
 func TestCrashDuringSwapEquivalence(t *testing.T) {
+	runCrashDuringSwapEquivalence(t)
+}
+
+// TestCrashDuringSwapEquivalenceF32 runs the crash-during-swap matrix
+// with -precision f32 armed: recovery converts whichever model the
+// journal says is active and both incarnations serve f32, so the
+// crashed run must still match its uninterrupted f32 baseline exactly.
+func TestCrashDuringSwapEquivalenceF32(t *testing.T) {
+	runCrashDuringSwapEquivalence(t, WithPrecision(core.PrecisionF32))
+}
+
+func runCrashDuringSwapEquivalence(t *testing.T, fixed ...Option) {
 	events, err := generatedEvents(logsim.Profiles()[2], 12, 16, 10, 142)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cut := len(events) / 2
 	opts := func(extra ...Option) []Option {
-		return append([]Option{
+		base := append([]Option{
 			WithShards(3),
 			WithQuietPeriod(time.Minute),
 			WithAlertBuffer(8192),
 			WithSnapshotEvery(time.Hour),
 			WithRestartBackoff(time.Millisecond),
-		}, extra...)
+		}, fixed...)
+		return append(base, extra...)
 	}
 
 	// Uninterrupted baselines: one run that never swaps, one that swaps

@@ -1,0 +1,258 @@
+package tensor
+
+import "fmt"
+
+// Float32 twins of the batched forward kernels in gatebatch.go and
+// matmul.go. The register blocking is the same — 4 batch rows × 2
+// output columns, eight independent single-accumulator chains — with
+// the k loop additionally unrolled 2-wide: each accumulator still sums
+// its products in ascending k (unrolling a single chain does not
+// reassociate), so per batch row the results are bit-identical to
+// GateMatVec32 / MatVecBias32 on that row alone. That per-row f32
+// parity is what lets the serving micro-batcher keep its "batch
+// boundaries are unobservable" contract under -precision f32.
+
+// GateMatMul32 computes z = x·wxᵀ + h·whᵀ + bias for a batch of rows
+// against the untransposed weights: x is [B x In], wx is [4H x In], h
+// is [B x H], wh is [4H x H], and z is [B x 4H]. Per row and gate the
+// association is (wx_j·x) + ((wh_j·h) + bias_j) — bit-identical to
+// GateMatVec32.
+func GateMatMul32(z, x, wx, h, wh *Matrix32, bias []float32) {
+	if z.Rows != x.Rows || x.Rows != h.Rows {
+		panic(fmt.Sprintf("tensor: GateMatMul32 batch rows %d/%d/%d", z.Rows, x.Rows, h.Rows))
+	}
+	if len(bias) != wx.Rows || z.Cols != wx.Rows || wx.Rows != wh.Rows {
+		panic(fmt.Sprintf("tensor: GateMatMul32 gate widths %d/%d/%d/%d", len(bias), z.Cols, wx.Rows, wh.Rows))
+	}
+	if x.Cols != wx.Cols || h.Cols != wh.Cols {
+		panic(fmt.Sprintf("tensor: GateMatMul32 inputs %d/%d, want %d/%d", x.Cols, h.Cols, wx.Cols, wh.Cols))
+	}
+	B, nx, nh, nz := z.Rows, wx.Cols, wh.Cols, z.Cols
+	j := 0
+	for ; j+2 <= nz; j += 2 {
+		wxj0 := wx.Data[j*nx : (j+1)*nx]
+		wxj1 := wx.Data[(j+1)*nx : (j+2)*nx]
+		whj0 := wh.Data[j*nh : (j+1)*nh]
+		whj1 := wh.Data[(j+1)*nh : (j+2)*nh]
+		bj0, bj1 := bias[j], bias[j+1]
+		r := 0
+		for ; r+4 <= B; r += 4 {
+			x0 := x.Data[r*nx : (r+1)*nx]
+			x1 := x.Data[(r+1)*nx : (r+2)*nx]
+			x2 := x.Data[(r+2)*nx : (r+3)*nx]
+			x3 := x.Data[(r+3)*nx : (r+4)*nx]
+			var s00, s01, s10, s11, s20, s21, s30, s31 float32
+			k := 0
+			for ; k+2 <= nx; k += 2 {
+				w0, w0b := wxj0[k], wxj0[k+1]
+				w1, w1b := wxj1[k], wxj1[k+1]
+				v, vb := x0[k], x0[k+1]
+				s00 += v * w0
+				s00 += vb * w0b
+				s01 += v * w1
+				s01 += vb * w1b
+				v, vb = x1[k], x1[k+1]
+				s10 += v * w0
+				s10 += vb * w0b
+				s11 += v * w1
+				s11 += vb * w1b
+				v, vb = x2[k], x2[k+1]
+				s20 += v * w0
+				s20 += vb * w0b
+				s21 += v * w1
+				s21 += vb * w1b
+				v, vb = x3[k], x3[k+1]
+				s30 += v * w0
+				s30 += vb * w0b
+				s31 += v * w1
+				s31 += vb * w1b
+			}
+			for ; k < nx; k++ {
+				w0, w1 := wxj0[k], wxj1[k]
+				s00 += x0[k] * w0
+				s01 += x0[k] * w1
+				s10 += x1[k] * w0
+				s11 += x1[k] * w1
+				s20 += x2[k] * w0
+				s21 += x2[k] * w1
+				s30 += x3[k] * w0
+				s31 += x3[k] * w1
+			}
+			h0 := h.Data[r*nh : (r+1)*nh]
+			h1 := h.Data[(r+1)*nh : (r+2)*nh]
+			h2 := h.Data[(r+2)*nh : (r+3)*nh]
+			h3 := h.Data[(r+3)*nh : (r+4)*nh]
+			var t00, t01, t10, t11, t20, t21, t30, t31 float32
+			k = 0
+			for ; k+2 <= nh; k += 2 {
+				w0, w0b := whj0[k], whj0[k+1]
+				w1, w1b := whj1[k], whj1[k+1]
+				v, vb := h0[k], h0[k+1]
+				t00 += v * w0
+				t00 += vb * w0b
+				t01 += v * w1
+				t01 += vb * w1b
+				v, vb = h1[k], h1[k+1]
+				t10 += v * w0
+				t10 += vb * w0b
+				t11 += v * w1
+				t11 += vb * w1b
+				v, vb = h2[k], h2[k+1]
+				t20 += v * w0
+				t20 += vb * w0b
+				t21 += v * w1
+				t21 += vb * w1b
+				v, vb = h3[k], h3[k+1]
+				t30 += v * w0
+				t30 += vb * w0b
+				t31 += v * w1
+				t31 += vb * w1b
+			}
+			for ; k < nh; k++ {
+				w0, w1 := whj0[k], whj1[k]
+				t00 += h0[k] * w0
+				t01 += h0[k] * w1
+				t10 += h1[k] * w0
+				t11 += h1[k] * w1
+				t20 += h2[k] * w0
+				t21 += h2[k] * w1
+				t30 += h3[k] * w0
+				t31 += h3[k] * w1
+			}
+			z.Data[r*nz+j] = s00 + (t00 + bj0)
+			z.Data[r*nz+j+1] = s01 + (t01 + bj1)
+			z.Data[(r+1)*nz+j] = s10 + (t10 + bj0)
+			z.Data[(r+1)*nz+j+1] = s11 + (t11 + bj1)
+			z.Data[(r+2)*nz+j] = s20 + (t20 + bj0)
+			z.Data[(r+2)*nz+j+1] = s21 + (t21 + bj1)
+			z.Data[(r+3)*nz+j] = s30 + (t30 + bj0)
+			z.Data[(r+3)*nz+j+1] = s31 + (t31 + bj1)
+		}
+		for ; r < B; r++ {
+			xr := x.Data[r*nx : (r+1)*nx]
+			hr := h.Data[r*nh : (r+1)*nh]
+			var s0, s1 float32
+			for k, v := range xr {
+				s0 += v * wxj0[k]
+				s1 += v * wxj1[k]
+			}
+			var t0, t1 float32
+			for k, v := range hr {
+				t0 += v * whj0[k]
+				t1 += v * whj1[k]
+			}
+			z.Data[r*nz+j] = s0 + (t0 + bj0)
+			z.Data[r*nz+j+1] = s1 + (t1 + bj1)
+		}
+	}
+	// Odd gate-width tail (cannot occur for 4H gate layouts; kept for
+	// generality): single-column, dot8 per row.
+	for ; j < nz; j++ {
+		wxj := wx.Data[j*nx : (j+1)*nx]
+		whj := wh.Data[j*nh : (j+1)*nh]
+		bj := bias[j]
+		for r := 0; r < B; r++ {
+			z.Data[r*nz+j] = dot8(wxj, x.Data[r*nx:(r+1)*nx]) + (dot8(whj, h.Data[r*nh:(r+1)*nh]) + bj)
+		}
+	}
+}
+
+// MatMulABtBiasInto32 computes dst = a·bᵀ + bias — the float32 twin of
+// MatMulABtBiasInto, the batched output head. dst is [a.Rows x b.Rows];
+// every dst row is bit-identical to MatVecBias32 on that a row.
+func MatMulABtBiasInto32(dst, a, b *Matrix32, bias []float32) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulABtBias32 inner dimension mismatch %dx%d * %dx%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulABtBias32 dst is %dx%d, want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	if len(bias) != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulABtBias32 bias length %d, want %d", len(bias), b.Rows))
+	}
+	K, N := a.Cols, b.Rows
+	r := 0
+	for ; r+4 <= a.Rows; r += 4 {
+		a0 := a.Data[r*K : (r+1)*K]
+		a1 := a.Data[(r+1)*K : (r+2)*K]
+		a2 := a.Data[(r+2)*K : (r+3)*K]
+		a3 := a.Data[(r+3)*K : (r+4)*K]
+		d0 := dst.Data[r*N : (r+1)*N]
+		d1 := dst.Data[(r+1)*N : (r+2)*N]
+		d2 := dst.Data[(r+2)*N : (r+3)*N]
+		d3 := dst.Data[(r+3)*N : (r+4)*N]
+		j := 0
+		for ; j+2 <= N; j += 2 {
+			b0 := b.Data[j*K : (j+1)*K]
+			b1 := b.Data[(j+1)*K : (j+2)*K]
+			bv0, bv1 := bias[j], bias[j+1]
+			var s00, s01, s10, s11, s20, s21, s30, s31 float32
+			k := 0
+			for ; k+2 <= K; k += 2 {
+				w0, w0b := b0[k], b0[k+1]
+				w1, w1b := b1[k], b1[k+1]
+				av, avb := a0[k], a0[k+1]
+				s00 += av * w0
+				s00 += avb * w0b
+				s01 += av * w1
+				s01 += avb * w1b
+				av, avb = a1[k], a1[k+1]
+				s10 += av * w0
+				s10 += avb * w0b
+				s11 += av * w1
+				s11 += avb * w1b
+				av, avb = a2[k], a2[k+1]
+				s20 += av * w0
+				s20 += avb * w0b
+				s21 += av * w1
+				s21 += avb * w1b
+				av, avb = a3[k], a3[k+1]
+				s30 += av * w0
+				s30 += avb * w0b
+				s31 += av * w1
+				s31 += avb * w1b
+			}
+			for ; k < K; k++ {
+				w0, w1 := b0[k], b1[k]
+				s00 += a0[k] * w0
+				s01 += a0[k] * w1
+				s10 += a1[k] * w0
+				s11 += a1[k] * w1
+				s20 += a2[k] * w0
+				s21 += a2[k] * w1
+				s30 += a3[k] * w0
+				s31 += a3[k] * w1
+			}
+			d0[j], d0[j+1] = s00+bv0, s01+bv1
+			d1[j], d1[j+1] = s10+bv0, s11+bv1
+			d2[j], d2[j+1] = s20+bv0, s21+bv1
+			d3[j], d3[j+1] = s30+bv0, s31+bv1
+		}
+		if j < N {
+			bj := b.Data[j*K : (j+1)*K]
+			bv := bias[j]
+			d0[j] = dot8(bj, a0) + bv
+			d1[j] = dot8(bj, a1) + bv
+			d2[j] = dot8(bj, a2) + bv
+			d3[j] = dot8(bj, a3) + bv
+		}
+	}
+	for ; r < a.Rows; r++ {
+		ar := a.Data[r*K : (r+1)*K]
+		drow := dst.Data[r*N : (r+1)*N]
+		j := 0
+		for ; j+2 <= N; j += 2 {
+			b0 := b.Data[j*K : (j+1)*K]
+			b1 := b.Data[(j+1)*K : (j+2)*K]
+			var s0, s1 float32
+			for k, av := range ar {
+				s0 += av * b0[k]
+				s1 += av * b1[k]
+			}
+			drow[j], drow[j+1] = s0+bias[j], s1+bias[j+1]
+		}
+		if j < N {
+			drow[j] = dot8(b.Data[j*K:(j+1)*K], ar) + bias[j]
+		}
+	}
+}

@@ -3,7 +3,7 @@
 # BenchmarkStreamThroughput (pre-parsed events through IngestEvent at
 # micro-batch widths 1, 8, 32) and fails if the B=1 per-event rate —
 # the path every idle shard still takes — regressed more than 10%
-# against the checked-in baseline in BENCH_PR7.json.
+# against the newest checked-in BENCH_PR*.json baseline.
 #
 # Raw events/sec is machine-dependent, so the floor is overridable:
 #   DESH_BENCH_MIN_EVENTS=250000 scripts/bench_gate.sh   # explicit floor
@@ -12,7 +12,21 @@
 set -eu
 
 GO=${GO:-go}
-BASE_JSON=${BASE_JSON:-BENCH_PR7.json}
+
+# Default the baseline to the newest BENCH_PR<n>.json by PR number, so
+# the gate rebases automatically when a PR records fresh numbers.
+if [ -z "${BASE_JSON:-}" ]; then
+    BASE_JSON=$(for f in BENCH_PR*.json; do
+        n=${f#BENCH_PR}
+        n=${n%.json}
+        printf '%s %s\n' "$n" "$f"
+    done | sort -n | tail -n 1 | cut -d' ' -f2)
+fi
+if [ -z "${BASE_JSON:-}" ] || [ ! -f "$BASE_JSON" ]; then
+    echo "bench_gate: FAIL — no BENCH_PR*.json baseline found" >&2
+    exit 1
+fi
+echo "bench_gate: baseline $BASE_JSON"
 
 if [ -n "${DESH_BENCH_MIN_EVENTS:-}" ]; then
     floor=$DESH_BENCH_MIN_EVENTS
@@ -26,7 +40,7 @@ else
 fi
 
 echo "bench_gate: running StreamThroughput (floor: $floor events/sec at micro-batch 1)"
-out=$($GO test ./internal/stream/ -run '^$' -bench BenchmarkStreamThroughput \
+out=$($GO test ./internal/stream/ -run '^$' -bench '^BenchmarkStreamThroughput$' \
     -benchtime "${DESH_BENCH_TIME:-2s}" -count 1)
 echo "$out"
 
